@@ -1,0 +1,28 @@
+//! Criterion micro-benchmarks for the fluid max-min solver: the per-cell
+//! cost of the Fig. 5 heatmaps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use spineless_core::{EvalTopos, Scale};
+use spineless_fluid::solve;
+use spineless_routing::{ForwardingState, RoutingScheme};
+use spineless_workload::cs::CsAssignment;
+
+fn bench_fluid(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fluid_solve");
+    let topos = EvalTopos::build(Scale::Small, 1);
+    let fs = ForwardingState::build(&topos.dring.graph, RoutingScheme::ShortestUnion(2));
+    for (cs, label) in [((12u32, 48u32), "skewed_12x48"), ((48, 48), "square_48x48")] {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let assign = CsAssignment::generate(&topos.dring, cs.0, cs.1, &mut rng).expect("fits");
+        let pairs = assign.sampled_pairs(20_000, &mut rng);
+        g.bench_with_input(BenchmarkId::new("dring_su2", label), &pairs, |b, pairs| {
+            b.iter(|| solve(&topos.dring, &fs, pairs, 3))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fluid);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion micro-benchmarks for the graph substrate: the BFS/Dijkstra
+//! and max-flow primitives every experiment leans on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spineless_graph::{bfs, flow};
+use spineless_topo::dring::DRing;
+use spineless_topo::rrg::Rrg;
+
+fn bench_bfs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bfs");
+    for racks in [24u32, 48, 96] {
+        let topo = Rrg::uniform(racks, 16, 8, 24, 1).build();
+        g.bench_with_input(BenchmarkId::new("all_pairs", racks), &topo, |b, t| {
+            b.iter(|| bfs::all_pairs_distances(&t.graph))
+        });
+        g.bench_with_input(BenchmarkId::new("sp_dag", racks), &topo, |b, t| {
+            b.iter(|| bfs::SpDag::towards(&t.graph, 0))
+        });
+    }
+    g.finish();
+}
+
+fn bench_flow(c: &mut Criterion) {
+    let mut g = c.benchmark_group("max_flow");
+    for n in [2u32, 3, 4] {
+        let topo = DRing::uniform(8, n, 10 * n).build();
+        g.bench_with_input(BenchmarkId::new("edge_disjoint", n), &topo, |b, t| {
+            b.iter(|| flow::edge_disjoint_paths(&t.graph, 0, t.graph.num_nodes() - 1))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bfs, bench_flow);
+criterion_main!(benches);

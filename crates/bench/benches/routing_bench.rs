@@ -1,0 +1,36 @@
+//! Criterion micro-benchmarks for routing: VRF-graph construction,
+//! forwarding-state (all-destination Dijkstra) builds, and BGP
+//! convergence — the control-plane costs of Shortest-Union(K).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spineless_routing::{bgp, ForwardingState, RoutingScheme, VrfGraph};
+use spineless_topo::dring::DRing;
+
+fn bench_forwarding_state(c: &mut Criterion) {
+    let mut g = c.benchmark_group("forwarding_state");
+    let topo = DRing::paper_config().build();
+    for scheme in [RoutingScheme::Ecmp, RoutingScheme::ShortestUnion(2), RoutingScheme::ShortestUnion(3)] {
+        g.bench_with_input(
+            BenchmarkId::new("build", scheme.label()),
+            &scheme,
+            |b, &s| b.iter(|| ForwardingState::build(&topo.graph, s)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_bgp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bgp_converge");
+    g.sample_size(10);
+    for k in [1u32, 2] {
+        let topo = DRing::uniform(8, 3, 32).build();
+        let vrf = VrfGraph::build(&topo.graph, k);
+        g.bench_with_input(BenchmarkId::new("dring_8x3", k), &vrf, |b, v| {
+            b.iter(|| bgp::converge(v))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_forwarding_state, bench_bgp);
+criterion_main!(benches);

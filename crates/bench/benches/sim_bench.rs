@@ -1,0 +1,32 @@
+//! Criterion micro-benchmarks for the packet simulator: event throughput
+//! under the workload shapes the experiments use.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spineless_core::fct::{generate_workload, TmKind};
+use spineless_core::{EvalTopos, Scale};
+use spineless_routing::{ForwardingState, RoutingScheme};
+use spineless_sim::{SimConfig, Simulation};
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("packet_sim");
+    g.sample_size(10);
+    let topos = EvalTopos::build(Scale::Small, 1);
+    for (name, tm) in [("uniform", TmKind::Uniform), ("fb_skewed", TmKind::FbSkewed)] {
+        let flows = generate_workload(tm, &topos.dring, 4_000_000, 500_000, 2);
+        g.bench_with_input(BenchmarkId::new("dring_su2", name), &flows, |b, flows| {
+            b.iter(|| {
+                let fs =
+                    ForwardingState::build(&topos.dring.graph, RoutingScheme::ShortestUnion(2));
+                let mut sim = Simulation::new(&topos.dring, fs, SimConfig::default(), 3);
+                for f in &flows.flows {
+                    sim.add_flow(f.src, f.dst, f.bytes, f.start_ns).expect("valid flow");
+                }
+                sim.run()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

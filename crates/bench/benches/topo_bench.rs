@@ -1,0 +1,35 @@
+//! Criterion micro-benchmarks for topology construction: how long does it
+//! take to build (and rewire) the paper's networks?
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spineless_topo::dring::DRing;
+use spineless_topo::flat::flatten;
+use spineless_topo::leafspine::LeafSpine;
+use spineless_topo::rrg::Rrg;
+
+fn bench_builders(c: &mut Criterion) {
+    let mut g = c.benchmark_group("build");
+    g.bench_function("leafspine_paper", |b| {
+        b.iter(|| LeafSpine::paper_config().build())
+    });
+    g.bench_function("dring_paper", |b| b.iter(|| DRing::paper_config().build()));
+    g.bench_function("rrg_paper_equipment", |b| {
+        let eq = LeafSpine::paper_config().build().equipment();
+        b.iter(|| Rrg::from_equipment(eq, 7).build())
+    });
+    g.finish();
+}
+
+fn bench_flatten(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flatten");
+    for (x, y) in [(12u32, 4u32), (48, 16)] {
+        let t = LeafSpine::new(x, y).build();
+        g.bench_with_input(BenchmarkId::new("rewire", format!("{x}x{y}")), &t, |b, t| {
+            b.iter(|| flatten(t, 3).expect("rewire"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_builders, bench_flatten);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Failure study (paper §7, "Impact of failures"): sweeps random link-cut
+//! fractions on the three evaluation topologies and reports connectivity,
+//! route stretch, Shortest-Union diversity loss, and BGP reconvergence
+//! rounds.
+//!
+//! `cargo run -p spineless-bench --release --bin failures`
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use spineless_bench::parse_args;
+use spineless_core::topos::EvalTopos;
+use spineless_routing::failures::{assess, FailurePlan};
+use spineless_routing::RoutingScheme;
+
+fn main() {
+    let (scale, seed) = parse_args();
+    let topos = EvalTopos::build(scale, seed);
+    println!("== link-failure sweep (random cuts, Shortest-Union(2) / ECMP) ==");
+    println!(
+        "{:<26} {:>6} {:>8} {:>12} {:>12} {:>10} {:>10} {:>9}",
+        "topology", "cut %", "discon.", "cost before", "cost after", "div before", "div after", "BGP rnds"
+    );
+    for (topo, scheme) in [
+        (&topos.leafspine, RoutingScheme::Ecmp),
+        (&topos.dring, RoutingScheme::ShortestUnion(2)),
+        (&topos.rrg, RoutingScheme::ShortestUnion(2)),
+    ] {
+        for fraction in [0.02, 0.05, 0.10, 0.20] {
+            let mut rng = SmallRng::seed_from_u64(seed ^ (fraction * 1000.0) as u64);
+            let plan = FailurePlan::random_links(topo, fraction, &mut rng);
+            let impact = assess(topo, scheme, &plan, 60).expect("assessment");
+            println!(
+                "{:<26} {:>6.0} {:>8} {:>12.3} {:>12.3} {:>10} {:>10} {:>9}",
+                topo.name,
+                fraction * 100.0,
+                impact.disconnected_pairs,
+                impact.mean_cost_before,
+                impact.mean_cost_after,
+                impact.min_diversity_before,
+                impact.min_diversity_after,
+                impact.bgp_rounds_after
+            );
+        }
+    }
+    println!("\nexpected shape: flat topologies absorb moderate cut fractions with");
+    println!("zero disconnections and sub-hop mean stretch — every switch has many");
+    println!("equal neighbours — while the leaf-spine's spine layer concentrates");
+    println!("risk; BGP reconvergence stays within a handful of synchronous rounds.");
+}

@@ -1,0 +1,49 @@
+//! Benchmark harnesses for the *Spineless Data Centers* reproduction.
+//!
+//! One binary per paper artifact (run with
+//! `cargo run -p spineless-bench --release --bin <name> [-- --scale small|paper] [--seed N]`):
+//!
+//! * `fig4` — §6.1 FCT grid (median + p99, 7 TMs × 5 combos);
+//! * `fig5` — §6.2 C-S throughput-ratio heatmaps (4 panels);
+//! * `fig6` — §6.3 scale study (p99 ratio DRing/RRG);
+//! * `table_udf` — §3.1 NSR/UDF table;
+//! * `theorem1` — §4 Theorem 1 verification sweep;
+//! * `path_diversity` — §4's (n+1)-disjoint-paths claim;
+//! * `bgp_convergence` — §4's BGP/VRF realization check.
+//!
+//! Plus Criterion micro-benchmarks per substrate in `benches/`.
+
+/// Minimal CLI parsing shared by the harness binaries: reads
+/// `--scale small|paper` (default small) and `--seed N` (default 42);
+/// unknown arguments abort with a usage hint.
+pub fn parse_args() -> (spineless_core::Scale, u64) {
+    let args: Vec<String> = std::env::args().collect();
+    let mut scale = spineless_core::Scale::Small;
+    let mut seed = 42u64;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = spineless_core::Scale::parse(args.get(i).map(|s| s.as_str()).unwrap_or(""))
+                    .unwrap_or_else(|| {
+                        eprintln!("unknown scale {:?}; use small|paper", args.get(i));
+                        std::process::exit(2);
+                    });
+            }
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("bad seed");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument {other}; usage: [--scale small|paper] [--seed N]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    (scale, seed)
+}

@@ -1,0 +1,46 @@
+//! High-level experiment API reproducing the evaluation of *Spineless Data
+//! Centers* (HotNets '20).
+//!
+//! Each figure/table of the paper has a module that regenerates it:
+//!
+//! * [`fct`] — §6.1 / **Fig. 4**: median and 99th-percentile flow
+//!   completion times for seven traffic matrices over five
+//!   (topology, routing) combinations, measured with the packet simulator.
+//! * [`throughput`] — §6.2 / **Fig. 5**: DRing-vs-leaf-spine throughput
+//!   ratio heatmaps in the C-S model, measured with the max-min fluid
+//!   solver over ECMP and Shortest-Union(2) routing.
+//! * [`scale`] — §6.3 / **Fig. 6**: the 99th-percentile FCT ratio of DRing
+//!   over an equal-equipment RRG as supernodes are added (40 → 90 racks).
+//! * [`udf`] — §3.1: the NSR / UDF analysis table (`UDF(leaf-spine) = 2`),
+//!   both closed-form and measured on constructed topologies.
+//! * [`topos`] — the evaluation topology trio at paper scale or a
+//!   proportionally reduced "small" scale for quick runs.
+//! * [`stats`] — percentile helpers shared by the experiments.
+//!
+//! Everything is deterministic given the experiment seed. Heavy grids run
+//! cells in parallel with scoped threads (the simulator itself is
+//! single-threaded per run, so parallelism never perturbs results).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use spineless_core::topos::{EvalTopos, Scale};
+//!
+//! let topos = EvalTopos::build(Scale::Small, 42);
+//! assert!(topos.dring.is_flat() && topos.rrg.is_flat());
+//! assert!(!topos.leafspine.is_flat());
+//! // Same hardware for leaf-spine and RRG:
+//! assert_eq!(topos.leafspine.equipment(), topos.rrg.equipment());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fct;
+pub mod scale;
+pub mod stats;
+pub mod throughput;
+pub mod topos;
+pub mod udf;
+
+pub use topos::{EvalTopos, Scale};

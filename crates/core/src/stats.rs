@@ -1,0 +1,71 @@
+//! Small statistics helpers for experiment reporting.
+
+/// Nearest-rank percentile (`p` in `[0, 100]`) of an unsorted slice.
+/// Returns `None` on an empty slice.
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let rank = ((p / 100.0) * v.len() as f64).ceil() as usize;
+    Some(v[rank.saturating_sub(1).min(v.len() - 1)])
+}
+
+/// Median via [`percentile`].
+pub fn median(values: &[f64]) -> Option<f64> {
+    percentile(values, 50.0)
+}
+
+/// Arithmetic mean; `None` on an empty slice.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    Some(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// Converts nanoseconds to milliseconds (the paper's FCT axis unit).
+pub fn ns_to_ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&v, 50.0), Some(3.0));
+        assert_eq!(percentile(&v, 100.0), Some(5.0));
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 99.0), Some(5.0));
+        assert_eq!(percentile(&v, 20.0), Some(1.0));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(median(&[]), None);
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn median_and_mean() {
+        assert_eq!(median(&[2.0, 1.0]), Some(1.0)); // nearest rank
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+    }
+
+    #[test]
+    fn unit_conversion() {
+        assert_eq!(ns_to_ms(1_500_000), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_percentile() {
+        percentile(&[1.0], 150.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Directed-link index space shared by the fluid model.
+//!
+//! Mirrors the simulator's convention: for physical edge `e = (a, b)`,
+//! directed link `2e` carries `a → b` and `2e + 1` carries `b → a`; then
+//! one uplink (server → ToR) and one downlink (ToR → server) per server.
+
+use spineless_graph::{EdgeId, NodeId};
+use spineless_topo::Topology;
+
+/// Maps (edge, direction) and server NICs to dense directed-link ids.
+#[derive(Debug, Clone)]
+pub struct LinkSpace {
+    edges: Vec<(NodeId, NodeId)>,
+    base_up: u32,
+    base_down: u32,
+    total: u32,
+}
+
+impl LinkSpace {
+    /// Builds the link space of a topology.
+    pub fn new(topo: &Topology) -> LinkSpace {
+        let e = topo.graph.num_edges();
+        let s = topo.num_servers();
+        LinkSpace {
+            edges: topo.graph.edges().to_vec(),
+            base_up: 2 * e,
+            base_down: 2 * e + s,
+            total: 2 * e + 2 * s,
+        }
+    }
+
+    /// Total number of directed links.
+    pub fn num_links(&self) -> u32 {
+        self.total
+    }
+
+    /// Number of switch-switch directed links.
+    pub fn num_switch_links(&self) -> u32 {
+        self.base_up
+    }
+
+    /// Directed link for traversing `edge` starting at switch `from`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not an endpoint of `edge`.
+    pub fn switch_link(&self, edge: EdgeId, from: NodeId) -> u32 {
+        let (a, b) = self.edges[edge as usize];
+        if from == a {
+            2 * edge
+        } else {
+            assert_eq!(from, b, "switch {from} is not on edge {edge}");
+            2 * edge + 1
+        }
+    }
+
+    /// Server `s`'s uplink (server → ToR).
+    pub fn uplink(&self, server: u32) -> u32 {
+        self.base_up + server
+    }
+
+    /// Server `s`'s downlink (ToR → server).
+    pub fn downlink(&self, server: u32) -> u32 {
+        self.base_down + server
+    }
+
+    /// `true` if the id is a switch-switch link.
+    pub fn is_switch_link(&self, link: u32) -> bool {
+        link < self.base_up
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spineless_topo::leafspine::LeafSpine;
+
+    #[test]
+    fn id_layout() {
+        let t = LeafSpine::new(3, 2).build(); // 5 leaves, 2 spines, 10 links
+        let ls = LinkSpace::new(&t);
+        assert_eq!(ls.num_switch_links(), 20);
+        assert_eq!(ls.num_links(), 20 + 2 * 15);
+        assert_eq!(ls.uplink(0), 20);
+        assert_eq!(ls.downlink(0), 35);
+        assert!(ls.is_switch_link(19));
+        assert!(!ls.is_switch_link(20));
+    }
+
+    #[test]
+    fn switch_link_directions_are_distinct() {
+        let t = LeafSpine::new(3, 2).build();
+        let ls = LinkSpace::new(&t);
+        let (a, b) = t.graph.edge(4);
+        let ab = ls.switch_link(4, a);
+        let ba = ls.switch_link(4, b);
+        assert_ne!(ab, ba);
+        assert_eq!(ab, 8);
+        assert_eq!(ba, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not on edge")]
+    fn wrong_endpoint_panics() {
+        let t = LeafSpine::new(3, 2).build();
+        let ls = LinkSpace::new(&t);
+        let (a, b) = t.graph.edge(0);
+        let other = (0..t.num_switches()).find(|&v| v != a && v != b).unwrap();
+        ls.switch_link(0, other);
+    }
+}

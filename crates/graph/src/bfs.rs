@@ -1,0 +1,279 @@
+//! Breadth-first shortest-path machinery on unweighted graphs.
+//!
+//! All routing in the paper starts from hop-count shortest paths: ECMP uses
+//! all shortest paths, and Shortest-Union(K) is their union with bounded
+//! non-shortest paths. This module provides distances, shortest-path DAGs
+//! (the per-node next-hop sets ECMP forwards over) and shortest-path
+//! counting (§4 argues the count is too small between nearby racks in a flat
+//! topology — we measure exactly that).
+
+use crate::{EdgeId, Graph, NodeId, UNREACHABLE};
+use std::collections::VecDeque;
+
+/// Hop distances from `src` to every node (`UNREACHABLE` where disconnected).
+pub fn distances(g: &Graph, src: NodeId) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.num_nodes() as usize];
+    let mut q = VecDeque::new();
+    dist[src as usize] = 0;
+    q.push_back(src);
+    while let Some(u) = q.pop_front() {
+        let du = dist[u as usize];
+        for &(v, _) in g.neighbors(u) {
+            if dist[v as usize] == UNREACHABLE {
+                dist[v as usize] = du + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// All-pairs hop distances, row `v` = distances from node `v`.
+///
+/// Runs one BFS per node: `O(V · (V + E))`, fine for the ≤ few hundred
+/// switches of a moderate-scale DC.
+pub fn all_pairs_distances(g: &Graph) -> Vec<Vec<u32>> {
+    (0..g.num_nodes()).map(|v| distances(g, v)).collect()
+}
+
+/// Diameter (max finite pairwise distance). `None` if disconnected or empty.
+pub fn diameter(g: &Graph) -> Option<u32> {
+    if g.num_nodes() == 0 {
+        return None;
+    }
+    let mut best = 0;
+    for v in 0..g.num_nodes() {
+        let d = distances(g, v);
+        for &x in &d {
+            if x == UNREACHABLE {
+                return None;
+            }
+            best = best.max(x);
+        }
+    }
+    Some(best)
+}
+
+/// Mean hop distance over all ordered pairs of *distinct* nodes.
+/// `None` if disconnected or fewer than two nodes.
+pub fn mean_distance(g: &Graph) -> Option<f64> {
+    let n = g.num_nodes() as u64;
+    if n < 2 {
+        return None;
+    }
+    let mut sum = 0u64;
+    for v in 0..g.num_nodes() {
+        for &x in &distances(g, v) {
+            if x == UNREACHABLE {
+                return None;
+            }
+            sum += x as u64;
+        }
+    }
+    Some(sum as f64 / (n * (n - 1)) as f64)
+}
+
+/// Per-destination ECMP forwarding state for one destination `t`:
+/// at node `u`, the set of (neighbor, edge) pairs lying on *some* shortest
+/// path from `u` to `t`.
+#[derive(Debug, Clone)]
+pub struct SpDag {
+    /// The destination this DAG routes towards.
+    pub dst: NodeId,
+    /// `dist[u]` = hop distance from `u` to `dst`.
+    pub dist: Vec<u32>,
+    /// `next_hops[u]` = neighbors of `u` one hop closer to `dst`,
+    /// with the edge used to reach each (parallel edges appear separately,
+    /// giving them proportional ECMP weight, as real switches do with LAGs).
+    pub next_hops: Vec<Vec<(NodeId, EdgeId)>>,
+}
+
+impl SpDag {
+    /// Builds the shortest-path DAG towards `dst`.
+    pub fn towards(g: &Graph, dst: NodeId) -> SpDag {
+        let dist = distances(g, dst);
+        let mut next_hops = vec![Vec::new(); g.num_nodes() as usize];
+        for u in 0..g.num_nodes() {
+            let du = dist[u as usize];
+            if du == UNREACHABLE || du == 0 {
+                continue;
+            }
+            for &(v, e) in g.neighbors(u) {
+                if dist[v as usize] + 1 == du {
+                    next_hops[u as usize].push((v, e));
+                }
+            }
+        }
+        SpDag { dst, dist, next_hops }
+    }
+
+    /// Number of distinct shortest paths from `src` to the DAG's destination.
+    ///
+    /// Counts are saturating (`u64::MAX` on overflow), which cannot happen at
+    /// DC scale but keeps the function total.
+    pub fn count_paths(&self, src: NodeId) -> u64 {
+        // Memoized DFS over the DAG; dist strictly decreases along next-hops
+        // so plain recursion terminates. Iterate nodes by increasing dist.
+        let n = self.dist.len();
+        let mut order: Vec<NodeId> = (0..n as u32).collect();
+        order.sort_by_key(|&v| self.dist[v as usize]);
+        let mut count = vec![0u64; n];
+        count[self.dst as usize] = 1;
+        for v in order {
+            if self.dist[v as usize] == 0 || self.dist[v as usize] == UNREACHABLE {
+                continue;
+            }
+            let mut c = 0u64;
+            for &(w, _) in &self.next_hops[v as usize] {
+                c = c.saturating_add(count[w as usize]);
+            }
+            count[v as usize] = c;
+        }
+        count[src as usize]
+    }
+}
+
+/// ECMP forwarding tables for every destination: `fibs[t]` is the
+/// shortest-path DAG towards node `t`.
+///
+/// Memory is `O(V·E)` in the worst case — ~tens of MB at the paper's largest
+/// scale (96 switches, degree 60), comfortably fine.
+pub fn all_sp_dags(g: &Graph) -> Vec<SpDag> {
+    (0..g.num_nodes()).map(|t| SpDag::towards(g, t)).collect()
+}
+
+/// Extracts one concrete shortest path `src -> ... -> dag.dst` by always
+/// taking the first next-hop. `None` if unreachable.
+pub fn first_shortest_path(dag: &SpDag, src: NodeId) -> Option<Vec<NodeId>> {
+    if dag.dist[src as usize] == UNREACHABLE {
+        return None;
+    }
+    let mut path = vec![src];
+    let mut u = src;
+    while u != dag.dst {
+        let &(v, _) = dag.next_hops[u as usize].first()?;
+        path.push(v);
+        u = v;
+    }
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// 6-cycle: distances wrap both ways.
+    fn cycle(n: u32) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n {
+            b.add_edge(i, (i + 1) % n);
+        }
+        b.build()
+    }
+
+    /// K4 complete graph.
+    fn k4() -> Graph {
+        let mut b = GraphBuilder::new(4);
+        for a in 0..4 {
+            for bb in (a + 1)..4 {
+                b.add_edge(a, bb);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn distances_on_cycle() {
+        let g = cycle(6);
+        assert_eq!(distances(&g, 0), vec![0, 1, 2, 3, 2, 1]);
+    }
+
+    #[test]
+    fn unreachable_is_marked() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        let g = b.build();
+        let d = distances(&g, 0);
+        assert_eq!(d[2], UNREACHABLE);
+    }
+
+    #[test]
+    fn diameter_and_mean() {
+        let g = cycle(6);
+        assert_eq!(diameter(&g), Some(3));
+        // cycle(6): distances from any node sum to 1+2+3+2+1 = 9 over 5 pairs
+        let m = mean_distance(&g).unwrap();
+        assert!((m - 9.0 / 5.0).abs() < 1e-12);
+        assert_eq!(diameter(&GraphBuilder::new(0).build()), None);
+        let mut b = GraphBuilder::new(2);
+        let disc = b.clone().build();
+        assert_eq!(diameter(&disc), None);
+        b.add_edge(0, 1);
+        assert_eq!(diameter(&b.build()), Some(1));
+    }
+
+    #[test]
+    fn sp_dag_next_hops_on_cycle() {
+        let g = cycle(4);
+        let dag = SpDag::towards(&g, 0);
+        // Node 2 is at distance 2 with two next-hops (1 and 3).
+        assert_eq!(dag.dist[2], 2);
+        let mut nh: Vec<NodeId> = dag.next_hops[2].iter().map(|&(v, _)| v).collect();
+        nh.sort_unstable();
+        assert_eq!(nh, vec![1, 3]);
+        // Node 1 has exactly one next-hop: 0.
+        assert_eq!(dag.next_hops[1].len(), 1);
+        assert_eq!(dag.next_hops[1][0].0, 0);
+    }
+
+    #[test]
+    fn path_counting() {
+        let g = cycle(4);
+        let dag = SpDag::towards(&g, 0);
+        assert_eq!(dag.count_paths(2), 2); // both ways around
+        assert_eq!(dag.count_paths(1), 1);
+        assert_eq!(dag.count_paths(0), 1); // empty path
+
+        // K4: adjacent nodes have exactly 1 shortest path.
+        let dag = SpDag::towards(&k4(), 3);
+        assert_eq!(dag.count_paths(0), 1);
+    }
+
+    #[test]
+    fn parallel_edges_double_next_hops() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1);
+        b.add_edge(0, 1);
+        let g = b.build();
+        let dag = SpDag::towards(&g, 1);
+        // Two parallel edges => node 0 lists neighbor 1 twice (LAG-style).
+        assert_eq!(dag.next_hops[0].len(), 2);
+        assert_eq!(dag.count_paths(0), 2);
+    }
+
+    #[test]
+    fn first_path_extraction() {
+        let g = cycle(6);
+        let dag = SpDag::towards(&g, 3);
+        let p = first_shortest_path(&dag, 0).unwrap();
+        assert_eq!(p.len(), 4); // 3 hops
+        assert_eq!(*p.first().unwrap(), 0);
+        assert_eq!(*p.last().unwrap(), 3);
+        // consecutive nodes adjacent
+        for w in p.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn all_dags_cover_all_destinations() {
+        let g = k4();
+        let dags = all_sp_dags(&g);
+        assert_eq!(dags.len(), 4);
+        for (t, dag) in dags.iter().enumerate() {
+            assert_eq!(dag.dst, t as u32);
+            assert_eq!(dag.dist[t], 0);
+        }
+    }
+}

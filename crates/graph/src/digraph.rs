@@ -1,0 +1,376 @@
+//! Directed, integer-weighted graphs and weighted shortest paths.
+//!
+//! The *VRF graph* of paper §4 is directed and weighted: each physical
+//! router is expanded into K virtual routers (VRFs), and virtual links get
+//! costs (realized as BGP AS-path prepending) between 1 and K, with
+//! different costs in the two directions of one physical cable. Plain
+//! shortest-path routing on this graph yields the Shortest-Union(K) path
+//! set. This module provides the graph type, Dijkstra, and the weighted
+//! shortest-path DAG whose per-node next-hop sets BGP multipath (ECMP over
+//! equal AS-path lengths) would install.
+
+use crate::{NodeId, UNREACHABLE};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Identifier of a directed arc inside a [`DiGraph`].
+pub type ArcId = u32;
+
+/// Incremental builder for [`DiGraph`].
+#[derive(Debug, Clone, Default)]
+pub struct DiGraphBuilder {
+    num_nodes: u32,
+    arcs: Vec<(NodeId, NodeId, u32)>,
+}
+
+impl DiGraphBuilder {
+    /// Creates a builder over `num_nodes` nodes with no arcs.
+    pub fn new(num_nodes: u32) -> Self {
+        DiGraphBuilder { num_nodes, arcs: Vec::new() }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> u32 {
+        self.num_nodes
+    }
+
+    /// Adds a directed arc `u -> v` with cost `w ≥ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints, self arcs, or zero weight (zero
+    /// weights would let the "shortest" path loop).
+    pub fn add_arc(&mut self, u: NodeId, v: NodeId, w: u32) -> ArcId {
+        assert!(u < self.num_nodes && v < self.num_nodes, "arc ({u},{v}) out of range");
+        assert_ne!(u, v, "self arc at {u}");
+        assert!(w >= 1, "zero-weight arc {u}->{v}");
+        let id = self.arcs.len() as ArcId;
+        self.arcs.push((u, v, w));
+        id
+    }
+
+    /// Freezes into an immutable [`DiGraph`].
+    pub fn build(self) -> DiGraph {
+        DiGraph::from_arcs(self.num_nodes, self.arcs)
+    }
+}
+
+/// An immutable directed multigraph with positive integer arc costs,
+/// stored in CSR form for both the forward and the reverse direction.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct DiGraph {
+    num_nodes: u32,
+    arcs: Vec<(NodeId, NodeId, u32)>,
+    fwd_off: Vec<u32>,
+    /// (head, arc id) pairs in forward CSR order.
+    fwd: Vec<(NodeId, ArcId)>,
+    rev_off: Vec<u32>,
+    /// (tail, arc id) pairs in reverse CSR order.
+    rev: Vec<(NodeId, ArcId)>,
+}
+
+impl DiGraph {
+    /// Builds from an explicit arc list (see [`DiGraphBuilder::add_arc`] for
+    /// the validity rules, which are asserted here too).
+    pub fn from_arcs(num_nodes: u32, arcs: Vec<(NodeId, NodeId, u32)>) -> DiGraph {
+        let n = num_nodes as usize;
+        let mut out_deg = vec![0u32; n];
+        let mut in_deg = vec![0u32; n];
+        for &(u, v, w) in &arcs {
+            assert!(u < num_nodes && v < num_nodes && u != v && w >= 1);
+            out_deg[u as usize] += 1;
+            in_deg[v as usize] += 1;
+        }
+        let prefix = |deg: &[u32]| {
+            let mut off = Vec::with_capacity(deg.len() + 1);
+            let mut acc = 0u32;
+            off.push(0);
+            for &d in deg {
+                acc += d;
+                off.push(acc);
+            }
+            off
+        };
+        let fwd_off = prefix(&out_deg);
+        let rev_off = prefix(&in_deg);
+        let mut fcur: Vec<u32> = fwd_off[..n].to_vec();
+        let mut rcur: Vec<u32> = rev_off[..n].to_vec();
+        let mut fwd = vec![(0u32, 0u32); arcs.len()];
+        let mut rev = vec![(0u32, 0u32); arcs.len()];
+        for (i, &(u, v, _)) in arcs.iter().enumerate() {
+            fwd[fcur[u as usize] as usize] = (v, i as ArcId);
+            fcur[u as usize] += 1;
+            rev[rcur[v as usize] as usize] = (u, i as ArcId);
+            rcur[v as usize] += 1;
+        }
+        DiGraph { num_nodes, arcs, fwd_off, fwd, rev_off, rev }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> u32 {
+        self.num_nodes
+    }
+
+    /// Number of arcs.
+    #[inline]
+    pub fn num_arcs(&self) -> u32 {
+        self.arcs.len() as u32
+    }
+
+    /// The `(tail, head, cost)` triple of arc `a`.
+    #[inline]
+    pub fn arc(&self, a: ArcId) -> (NodeId, NodeId, u32) {
+        self.arcs[a as usize]
+    }
+
+    /// Out-neighbors of `u` as `(head, arc)` pairs.
+    #[inline]
+    pub fn out_arcs(&self, u: NodeId) -> &[(NodeId, ArcId)] {
+        &self.fwd[self.fwd_off[u as usize] as usize..self.fwd_off[u as usize + 1] as usize]
+    }
+
+    /// In-neighbors of `v` as `(tail, arc)` pairs.
+    #[inline]
+    pub fn in_arcs(&self, v: NodeId) -> &[(NodeId, ArcId)] {
+        &self.rev[self.rev_off[v as usize] as usize..self.rev_off[v as usize + 1] as usize]
+    }
+
+    /// Dijkstra distances *from* `src` along arc directions.
+    /// Unreachable nodes get [`UNREACHABLE`] (as u64).
+    pub fn dijkstra_from(&self, src: NodeId) -> Vec<u64> {
+        self.dijkstra(src, true)
+    }
+
+    /// Dijkstra distances *to* `dst` (i.e. along reversed arcs).
+    pub fn dijkstra_to(&self, dst: NodeId) -> Vec<u64> {
+        self.dijkstra(dst, false)
+    }
+
+    fn dijkstra(&self, root: NodeId, forward: bool) -> Vec<u64> {
+        let mut dist = vec![UNREACHABLE as u64; self.num_nodes as usize];
+        let mut heap = BinaryHeap::new();
+        dist[root as usize] = 0;
+        heap.push(Reverse((0u64, root)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > dist[u as usize] {
+                continue;
+            }
+            let arcs = if forward { self.out_arcs(u) } else { self.in_arcs(u) };
+            for &(v, a) in arcs {
+                let w = self.arcs[a as usize].2 as u64;
+                let nd = d + w;
+                if nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+        dist
+    }
+}
+
+/// Weighted shortest-path DAG towards a destination in a [`DiGraph`]:
+/// at each node, the arcs that begin *some* minimum-cost path to `dst`.
+///
+/// This is the forwarding state a BGP-multipath router would install when
+/// arc costs are realized as AS-path lengths: all next hops whose advertised
+/// cost plus the link cost equals the node's own best cost.
+#[derive(Debug, Clone)]
+pub struct WeightedSpDag {
+    /// Destination node.
+    pub dst: NodeId,
+    /// `dist[u]` = min cost from `u` to `dst` (`UNREACHABLE as u64` if none).
+    pub dist: Vec<u64>,
+    /// `next_hops[u]` = (head, arc) pairs on minimum-cost paths.
+    pub next_hops: Vec<Vec<(NodeId, ArcId)>>,
+}
+
+impl WeightedSpDag {
+    /// Builds the minimum-cost DAG towards `dst`.
+    pub fn towards(g: &DiGraph, dst: NodeId) -> WeightedSpDag {
+        let dist = g.dijkstra_to(dst);
+        let mut next_hops = vec![Vec::new(); g.num_nodes() as usize];
+        for u in 0..g.num_nodes() {
+            let du = dist[u as usize];
+            if du == UNREACHABLE as u64 || du == 0 {
+                continue;
+            }
+            for &(v, a) in g.out_arcs(u) {
+                let w = g.arc(a).2 as u64;
+                if dist[v as usize] != UNREACHABLE as u64 && dist[v as usize] + w == du {
+                    next_hops[u as usize].push((v, a));
+                }
+            }
+        }
+        WeightedSpDag { dst, dist, next_hops }
+    }
+
+    /// Samples a minimum-cost path from `src` by a uniform random walk over
+    /// next-hop arcs (per-hop ECMP). `None` if unreachable.
+    pub fn sample_path<R: Rng>(&self, src: NodeId, rng: &mut R) -> Option<Vec<NodeId>> {
+        if self.dist[src as usize] == UNREACHABLE as u64 {
+            return None;
+        }
+        let mut path = vec![src];
+        let mut u = src;
+        while u != self.dst {
+            let nh = &self.next_hops[u as usize];
+            debug_assert!(!nh.is_empty());
+            let (v, _) = nh[rng.gen_range(0..nh.len())];
+            path.push(v);
+            u = v;
+        }
+        Some(path)
+    }
+
+    /// Enumerates all minimum-cost paths from `src`, up to `cap`.
+    pub fn all_paths(&self, src: NodeId, cap: usize) -> Vec<Vec<NodeId>> {
+        let mut out = Vec::new();
+        if self.dist[src as usize] == UNREACHABLE as u64 {
+            return out;
+        }
+        let mut stack = vec![src];
+        self.dfs(&mut stack, &mut out, cap);
+        out
+    }
+
+    fn dfs(&self, stack: &mut Vec<NodeId>, out: &mut Vec<Vec<NodeId>>, cap: usize) {
+        if out.len() >= cap {
+            return;
+        }
+        let u = *stack.last().expect("non-empty");
+        if u == self.dst {
+            out.push(stack.clone());
+            return;
+        }
+        for &(v, _) in &self.next_hops[u as usize] {
+            stack.push(v);
+            self.dfs(stack, out, cap);
+            stack.pop();
+            if out.len() >= cap {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Diamond: 0 -> 1 -> 3 (cost 1+1), 0 -> 2 -> 3 (cost 1+1),
+    /// 0 -> 3 direct cost 2. All three are min-cost (2).
+    fn diamond() -> DiGraph {
+        let mut b = DiGraphBuilder::new(4);
+        b.add_arc(0, 1, 1);
+        b.add_arc(1, 3, 1);
+        b.add_arc(0, 2, 1);
+        b.add_arc(2, 3, 1);
+        b.add_arc(0, 3, 2);
+        b.build()
+    }
+
+    #[test]
+    fn dijkstra_forward_and_backward() {
+        let g = diamond();
+        assert_eq!(g.dijkstra_from(0), vec![0, 1, 1, 2]);
+        assert_eq!(g.dijkstra_to(3), vec![2, 1, 1, 0]);
+        // Arcs are one-way: nothing reaches 0.
+        let to0 = g.dijkstra_to(0);
+        assert_eq!(to0[0], 0);
+        assert_eq!(to0[3], UNREACHABLE as u64);
+    }
+
+    #[test]
+    fn weighted_dag_collects_all_min_cost_arcs() {
+        let g = diamond();
+        let dag = WeightedSpDag::towards(&g, 3);
+        // From 0, three equal-cost first hops: 1, 2 and 3 (direct cost 2).
+        let mut heads: Vec<NodeId> = dag.next_hops[0].iter().map(|&(v, _)| v).collect();
+        heads.sort_unstable();
+        assert_eq!(heads, vec![1, 2, 3]);
+        assert_eq!(dag.dist[0], 2);
+    }
+
+    #[test]
+    fn all_paths_enumeration() {
+        let g = diamond();
+        let dag = WeightedSpDag::towards(&g, 3);
+        let ps = dag.all_paths(0, 100);
+        assert_eq!(ps.len(), 3);
+        assert!(ps.contains(&vec![0, 1, 3]));
+        assert!(ps.contains(&vec![0, 2, 3]));
+        assert!(ps.contains(&vec![0, 3]));
+    }
+
+    #[test]
+    fn path_sampling_stays_min_cost() {
+        let g = diamond();
+        let dag = WeightedSpDag::towards(&g, 3);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..32 {
+            let p = dag.sample_path(0, &mut rng).unwrap();
+            // Total cost must be 2 whichever path is drawn.
+            let mut cost = 0;
+            for w in p.windows(2) {
+                let arc_cost = (0..g.num_arcs())
+                    .map(|a| g.arc(a))
+                    .filter(|&(u, v, _)| u == w[0] && v == w[1])
+                    .map(|(_, _, c)| c)
+                    .min()
+                    .unwrap();
+                cost += arc_cost;
+            }
+            assert_eq!(cost, 2);
+        }
+    }
+
+    #[test]
+    fn unreachable_sampling() {
+        let mut b = DiGraphBuilder::new(2);
+        b.add_arc(0, 1, 1);
+        let g = b.build();
+        let dag = WeightedSpDag::towards(&g, 0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(dag.sample_path(1, &mut rng).is_none());
+        assert!(dag.all_paths(1, 10).is_empty());
+    }
+
+    #[test]
+    fn parallel_arcs_with_different_costs() {
+        let mut b = DiGraphBuilder::new(2);
+        b.add_arc(0, 1, 3);
+        b.add_arc(0, 1, 1);
+        let g = b.build();
+        assert_eq!(g.dijkstra_from(0)[1], 1);
+        let dag = WeightedSpDag::towards(&g, 1);
+        // Only the cost-1 arc is a min-cost next hop.
+        assert_eq!(dag.next_hops[0].len(), 1);
+        assert_eq!(g.arc(dag.next_hops[0][0].1).2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-weight")]
+    fn rejects_zero_weight() {
+        let mut b = DiGraphBuilder::new(2);
+        b.add_arc(0, 1, 0);
+    }
+
+    #[test]
+    fn csr_adjacency_is_consistent() {
+        let g = diamond();
+        assert_eq!(g.out_arcs(0).len(), 3);
+        assert_eq!(g.in_arcs(3).len(), 3);
+        assert_eq!(g.out_arcs(3).len(), 0);
+        for a in 0..g.num_arcs() {
+            let (u, v, _) = g.arc(a);
+            assert!(g.out_arcs(u).iter().any(|&(h, id)| h == v && id == a));
+            assert!(g.in_arcs(v).iter().any(|&(t, id)| t == u && id == a));
+        }
+    }
+}

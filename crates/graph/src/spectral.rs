@@ -1,0 +1,175 @@
+//! Spectral expansion estimates.
+//!
+//! Expanders are "maximally well-connected" graphs (paper footnote 1); the
+//! standard quantitative handle is the spectral gap `1 - λ₂` of the
+//! normalized adjacency matrix — large gap ⇒ good expansion. We estimate λ₂
+//! by power iteration with deflation against the known top eigenvector
+//! (`√degree`, eigenvalue 1, for the symmetric normalization
+//! `D^{-1/2} A D^{-1/2}`).
+//!
+//! Used in the workspace to verify that RRG/Xpander topologies are far
+//! better expanders than DRings of the same size and degree — the structural
+//! reason DRing performance deteriorates with scale (paper §6.3).
+
+use crate::Graph;
+use rand::Rng;
+
+/// Estimate of the largest *non-trivial* eigenvalue magnitude
+/// `max(|λ₂|, |λₙ|)` of the symmetrically normalized adjacency matrix of
+/// `g` — the two-sided expansion measure. Bipartite graphs (eigenvalue −1)
+/// therefore report 1.0: they mix poorly, which is the right verdict for a
+/// topology metric.
+///
+/// `iters` power iterations are performed (200 is plenty for the sizes used
+/// here); randomness only seeds the starting vector. The graph must have no
+/// isolated nodes (every switch in a topology has links).
+///
+/// # Panics
+///
+/// Panics if any node has degree 0 or the graph has fewer than 2 nodes.
+pub fn lambda2<R: Rng>(g: &Graph, iters: u32, rng: &mut R) -> f64 {
+    let n = g.num_nodes() as usize;
+    assert!(n >= 2, "lambda2 needs at least 2 nodes");
+    let deg: Vec<f64> = (0..g.num_nodes()).map(|v| g.degree(v) as f64).collect();
+    assert!(deg.iter().all(|&d| d > 0.0), "isolated node");
+    let inv_sqrt: Vec<f64> = deg.iter().map(|d| 1.0 / d.sqrt()).collect();
+
+    // Top eigenvector of D^{-1/2} A D^{-1/2} is proportional to sqrt(deg).
+    let mut top: Vec<f64> = deg.iter().map(|d| d.sqrt()).collect();
+    normalize(&mut top);
+
+    let mut x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    deflate(&mut x, &top);
+    normalize(&mut x);
+
+    let mut lambda = 0.0;
+    let mut y = vec![0.0; n];
+    for _ in 0..iters {
+        // y = M x where M = D^{-1/2} A D^{-1/2}
+        y.iter_mut().for_each(|v| *v = 0.0);
+        for u in 0..n {
+            let xu = x[u] * inv_sqrt[u];
+            for &(v, _) in g.neighbors(u as u32) {
+                y[v as usize] += xu * inv_sqrt[v as usize];
+            }
+        }
+        deflate(&mut y, &top);
+        lambda = norm(&y);
+        if lambda < 1e-15 {
+            // x was (numerically) entirely in the top eigenspace; λ₂ ≈ 0.
+            return 0.0;
+        }
+        for i in 0..n {
+            x[i] = y[i] / lambda;
+        }
+    }
+    lambda
+}
+
+/// Spectral gap estimate `1 - |λ₂|`; larger means a better expander.
+pub fn spectral_gap<R: Rng>(g: &Graph, iters: u32, rng: &mut R) -> f64 {
+    1.0 - lambda2(g, iters, rng)
+}
+
+fn deflate(x: &mut [f64], dir: &[f64]) {
+    let dot: f64 = x.iter().zip(dir).map(|(a, b)| a * b).sum();
+    for (xi, di) in x.iter_mut().zip(dir) {
+        *xi -= dot * di;
+    }
+}
+
+fn norm(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+fn normalize(x: &mut [f64]) {
+    let n = norm(x);
+    if n > 0.0 {
+        for v in x.iter_mut() {
+            *v /= n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn complete(n: u32) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for a in 0..n {
+            for c in (a + 1)..n {
+                b.add_edge(a, c);
+            }
+        }
+        b.build()
+    }
+
+    fn cycle(n: u32) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n {
+            b.add_edge(i, (i + 1) % n);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn complete_graph_has_tiny_lambda2() {
+        // K_n: normalized λ₂ = 1/(n-1); for n = 8 that's ≈ 0.1428.
+        let g = complete(8);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let l2 = lambda2(&g, 300, &mut rng);
+        assert!((l2 - 1.0 / 7.0).abs() < 1e-3, "λ₂ = {l2}");
+    }
+
+    #[test]
+    fn odd_cycle_lambda_matches_cosine() {
+        // C_n (n odd): normalized eigenvalues are cos(2πk/n); the largest
+        // non-trivial magnitude is |cos(π(n−1)/n)| = cos(π/n).
+        let n = 15;
+        let g = cycle(n);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let l2 = lambda2(&g, 4000, &mut rng);
+        let expect = (std::f64::consts::PI / n as f64).cos();
+        assert!((l2 - expect).abs() < 1e-3, "λ = {l2}, expect {expect}");
+    }
+
+    #[test]
+    fn even_cycle_is_bipartite_and_reports_one() {
+        let g = cycle(16);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let l2 = lambda2(&g, 2000, &mut rng);
+        assert!((l2 - 1.0).abs() < 1e-3, "bipartite λ = {l2}");
+    }
+
+    #[test]
+    fn complete_beats_cycle_as_expander() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let gap_complete = spectral_gap(&complete(12), 400, &mut rng);
+        let gap_cycle = spectral_gap(&cycle(12), 400, &mut rng);
+        assert!(
+            gap_complete > gap_cycle + 0.2,
+            "complete {gap_complete} vs cycle {gap_cycle}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = cycle(10);
+        let a = lambda2(&g, 500, &mut SmallRng::seed_from_u64(9));
+        let b = lambda2(&g, 500, &mut SmallRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "isolated node")]
+    fn rejects_isolated_nodes() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        let g = b.build();
+        lambda2(&g, 10, &mut SmallRng::seed_from_u64(0));
+    }
+}

@@ -1,0 +1,714 @@
+//! The discrete-event engine: wires topology, forwarding state, link
+//! queues and TCP together.
+//!
+//! Time is nanoseconds; the event heap orders by `(time, insertion seq)`,
+//! so runs are exactly reproducible. Each packet hop costs two events
+//! (serialization done, arrival after propagation), matching htsim's store-
+//! and-forward model.
+
+use crate::link::{LinkQueue, Offer};
+use crate::packet::Packet;
+use crate::tcp::{TcpOutput, TcpReceiver, TcpSender};
+use crate::types::{DirLinkId, FlowId, FlowRecord, Ns, SimConfig, SimReport};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use spineless_graph::NodeId;
+use spineless_routing::{Forwarding, ForwardingState};
+use spineless_topo::Topology;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Everything that can happen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    /// A flow's start time arrived.
+    FlowStart(FlowId),
+    /// A packet finishes propagation and arrives at the link's head.
+    Arrive(DirLinkId, Packet),
+    /// A link finishes serializing its current packet.
+    TxDone(DirLinkId),
+    /// A TCP retransmission timer fires.
+    Rto(FlowId, u64),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Scheduled {
+    t: Ns,
+    seq: u64,
+    ev: Ev,
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.t, self.seq).cmp(&(other.t, other.seq))
+    }
+}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Error from flow admission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The pair is not connected under the installed routing scheme.
+    Unreachable {
+        /// Source server.
+        src: u32,
+        /// Destination server.
+        dst: u32,
+    },
+    /// A server id was out of range.
+    BadServer(u32),
+    /// Zero-byte flows are not admitted.
+    EmptyFlow,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Unreachable { src, dst } => {
+                write!(f, "no route between servers {src} and {dst}")
+            }
+            SimError::BadServer(s) => write!(f, "server {s} out of range"),
+            SimError::EmptyFlow => write!(f, "zero-byte flow"),
+        }
+    }
+}
+impl std::error::Error for SimError {}
+
+struct FlowSpec {
+    src: u32,
+    dst: u32,
+    bytes: u64,
+    start_ns: Ns,
+}
+
+/// A packet-level simulation of one topology + routing + workload triple.
+///
+/// Generic over the forwarding plane: plain [`ForwardingState`] (ECMP or
+/// Shortest-Union(K)) by default, or any [`Forwarding`] implementation —
+/// e.g. the adaptive [`spineless_routing::DualPlane`].
+pub struct Simulation<F: Forwarding = ForwardingState> {
+    cfg: SimConfig,
+    fs: F,
+    /// Switch of each server.
+    server_switch: Vec<NodeId>,
+    /// Physical edge endpoints, for direction resolution.
+    edge_ends: Vec<(NodeId, NodeId)>,
+
+    queues: Vec<LinkQueue>,
+    /// First server-uplink link id (= 2 × switch edges).
+    base_up: u32,
+    /// First server-downlink link id.
+    base_down: u32,
+
+    specs: Vec<FlowSpec>,
+    senders: Vec<TcpSender>,
+    receivers: Vec<TcpReceiver>,
+    fct: Vec<Option<Ns>>,
+    flow_hash: Vec<u64>,
+    switch_salt: Vec<u64>,
+    /// Per-flow flowlet tracking (used when cfg.flowlet_gap_ns is set).
+    flowlet_id: Vec<u32>,
+    last_emit_ns: Vec<Ns>,
+
+    heap: BinaryHeap<Reverse<Scheduled>>,
+    seq: u64,
+    now: Ns,
+    events: u64,
+    completed: usize,
+    delivered_bytes: u64,
+}
+
+impl<F: Forwarding> Simulation<F> {
+    /// Creates a simulation over `topo` with the given forwarding plane
+    /// (which must have been built from `topo.graph`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the forwarding plane's router count does not match the
+    /// topology.
+    pub fn new(topo: &Topology, fs: F, cfg: SimConfig, seed: u64) -> Simulation<F> {
+        assert_eq!(
+            fs.routers(),
+            topo.num_switches(),
+            "forwarding plane built for a different topology"
+        );
+        let num_servers = topo.num_servers();
+        let mut server_switch = vec![0u32; num_servers as usize];
+        for sw in 0..topo.num_switches() {
+            for s in topo.servers_on(sw) {
+                server_switch[s as usize] = sw;
+            }
+        }
+        let e = topo.graph.num_edges();
+        let base_up = 2 * e;
+        let base_down = base_up + num_servers;
+        let total_links = (base_down + num_servers) as usize;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let switch_salt = (0..topo.num_switches()).map(|_| rng.gen()).collect();
+        Simulation {
+            cfg,
+            fs,
+            server_switch,
+            edge_ends: topo.graph.edges().to_vec(),
+            queues: vec![LinkQueue::new(); total_links],
+            base_up,
+            base_down,
+            specs: Vec::new(),
+            senders: Vec::new(),
+            receivers: Vec::new(),
+            fct: Vec::new(),
+            flow_hash: Vec::new(),
+            switch_salt,
+            flowlet_id: Vec::new(),
+            last_emit_ns: Vec::new(),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+            events: 0,
+            completed: 0,
+            delivered_bytes: 0,
+        }
+    }
+
+    /// Admits a flow of `bytes` from server `src` to server `dst`,
+    /// starting at `start_ns`. Returns its [`FlowId`].
+    pub fn add_flow(
+        &mut self,
+        src: u32,
+        dst: u32,
+        bytes: u64,
+        start_ns: Ns,
+    ) -> Result<FlowId, SimError> {
+        let ns = self.server_switch.len() as u32;
+        if src >= ns {
+            return Err(SimError::BadServer(src));
+        }
+        if dst >= ns {
+            return Err(SimError::BadServer(dst));
+        }
+        if bytes == 0 {
+            return Err(SimError::EmptyFlow);
+        }
+        let (ssw, dsw) = (self.server_switch[src as usize], self.server_switch[dst as usize]);
+        if ssw != dsw && !self.fs.reachable(ssw, dsw) {
+            return Err(SimError::Unreachable { src, dst });
+        }
+        let id = self.specs.len() as FlowId;
+        self.specs.push(FlowSpec { src, dst, bytes, start_ns });
+        self.senders.push(TcpSender::with_transport(
+            id,
+            bytes,
+            self.cfg.mss_bytes,
+            self.cfg.initial_cwnd,
+            self.cfg.min_rto_ns,
+            self.cfg.transport,
+        ));
+        self.receivers.push(TcpReceiver::new());
+        self.fct.push(None);
+        self.flowlet_id.push(0);
+        self.last_emit_ns.push(0);
+        // Per-flow ECMP hash input; derives from ids so adding flows in a
+        // different order does not change an existing flow's path.
+        self.flow_hash.push(mix(0x5851_F42D_4C95_7F2D ^ ((src as u64) << 32 | dst as u64) ^ ((id as u64) << 17)));
+        self.push(start_ns, Ev::FlowStart(id));
+        Ok(id)
+    }
+
+    /// Runs to completion (or `cfg.max_time_ns`) and reports.
+    pub fn run(&mut self) -> SimReport {
+        while let Some(Reverse(s)) = self.heap.pop() {
+            if s.t > self.cfg.max_time_ns {
+                self.now = self.cfg.max_time_ns;
+                break;
+            }
+            self.now = s.t;
+            self.events += 1;
+            match s.ev {
+                Ev::FlowStart(f) => {
+                    let out = self.senders[f as usize].start(s.t);
+                    self.apply_tcp_output(f, out);
+                }
+                Ev::TxDone(link) => {
+                    if let Some(pkt) = self.queues[link as usize].tx_done() {
+                        let tx = self.cfg.tx_ns(pkt.size);
+                        self.push(self.now + tx, Ev::TxDone(link));
+                        self.push(self.now + tx + self.link_delay(link), Ev::Arrive(link, pkt));
+                    }
+                }
+                Ev::Arrive(link, pkt) => self.on_arrive(link, pkt),
+                Ev::Rto(f, gen) => {
+                    let out = self.senders[f as usize].on_timer(s.t, gen);
+                    self.apply_tcp_output(f, out);
+                }
+            }
+            if self.completed == self.specs.len() {
+                break;
+            }
+        }
+        self.report()
+    }
+
+    /// Builds the report from current state (also used after early stop).
+    fn report(&self) -> SimReport {
+        let flows = self
+            .specs
+            .iter()
+            .enumerate()
+            .map(|(i, sp)| FlowRecord {
+                id: i as FlowId,
+                src: sp.src,
+                dst: sp.dst,
+                bytes: sp.bytes,
+                start_ns: sp.start_ns,
+                fct_ns: self.fct[i],
+                retransmits: self.senders[i].retransmits,
+                timeouts: self.senders[i].timeouts,
+            })
+            .collect();
+        let dropped_packets = self.queues.iter().map(|q| q.drops).sum();
+        SimReport {
+            flows,
+            dropped_packets,
+            delivered_bytes: self.delivered_bytes,
+            end_ns: self.now,
+            events: self.events,
+        }
+    }
+
+    /// Per-switch-link transmitted bytes (index = directed link id
+    /// `2 * edge + dir`); for utilization accounting.
+    pub fn switch_link_tx_bytes(&self) -> Vec<u64> {
+        self.queues[..self.base_up as usize].iter().map(|q| q.tx_bytes).collect()
+    }
+
+    /// Mean utilization of switch-switch links over the run.
+    pub fn mean_switch_link_utilization(&self) -> f64 {
+        if self.now == 0 || self.base_up == 0 {
+            return 0.0;
+        }
+        let cap = self.cfg.bytes_per_ns() * self.now as f64;
+        let sum: u64 = self.switch_link_tx_bytes().iter().sum();
+        sum as f64 / (cap * self.base_up as f64)
+    }
+
+    // ---- internals ----
+
+    fn push(&mut self, t: Ns, ev: Ev) {
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled { t, seq: self.seq, ev }));
+    }
+
+    fn link_delay(&self, link: DirLinkId) -> Ns {
+        if link < self.base_up {
+            self.cfg.link_delay_ns
+        } else {
+            self.cfg.server_link_delay_ns
+        }
+    }
+
+    /// Offers a packet to a directed link, scheduling wire events on start.
+    /// Data packets pick up DCTCP ECN marks at congested queues.
+    fn offer(&mut self, link: DirLinkId, mut pkt: Packet) {
+        let ecn = match self.cfg.transport {
+            crate::types::Transport::Dctcp if !pkt.is_ack => {
+                Some(self.cfg.ecn_threshold_bytes.max(1))
+            }
+            _ => None,
+        };
+        // Marking must survive for packets that start transmitting
+        // immediately, so apply it here from the observed backlog (the
+        // queue applies it too for the queued path; both see the same
+        // backlog value).
+        if let Some(k) = ecn {
+            if self.queues[link as usize].backlog_bytes() >= k {
+                pkt.ecn = true;
+            }
+        }
+        match self.queues[link as usize].offer(pkt, self.cfg.queue_bytes, ecn) {
+            Offer::StartTx => {
+                let tx = self.cfg.tx_ns(pkt.size);
+                self.push(self.now + tx, Ev::TxDone(link));
+                self.push(self.now + tx + self.link_delay(link), Ev::Arrive(link, pkt));
+            }
+            Offer::Queued | Offer::Dropped => {}
+        }
+    }
+
+    fn on_arrive(&mut self, link: DirLinkId, pkt: Packet) {
+        if link >= self.base_down {
+            // Server downlink: delivery to the host.
+            self.deliver(pkt);
+        } else {
+            // Arrived at a switch (head of a switch link or of an uplink).
+            self.forward(pkt);
+        }
+    }
+
+    /// Hop-by-hop forwarding at the switch `router_of(pkt.vnode)`.
+    fn forward(&mut self, mut pkt: Packet) {
+        if self.fs.delivered(pkt.vnode, pkt.dst_router) {
+            let down = self.base_down + pkt.dst_server;
+            self.offer(down, pkt);
+            return;
+        }
+        let router = self.fs.router_of(pkt.vnode);
+        let h = mix(
+            self.flow_hash[pkt.flow as usize]
+                ^ self.switch_salt[router as usize]
+                ^ ((pkt.flowlet as u64) << 32)
+                ^ if pkt.is_ack { 0xA5A5_5A5A_DEAD_BEEF } else { 0 },
+        );
+        let (nv, edge) = self.fs.next_hop(pkt.vnode, pkt.dst_router, h);
+        let (a, _b) = self.edge_ends[edge as usize];
+        let dir = if router == a { 0 } else { 1 };
+        pkt.vnode = nv;
+        self.offer(2 * edge + dir, pkt);
+    }
+
+    /// A packet reached its destination server.
+    fn deliver(&mut self, pkt: Packet) {
+        let f = pkt.flow as usize;
+        if pkt.is_ack {
+            let out = self.senders[f].on_ack_ecn(
+                self.now,
+                pkt.seq,
+                pkt.echo_ns,
+                pkt.echo_epoch,
+                pkt.ecn,
+            );
+            self.apply_tcp_output(pkt.flow, out);
+        } else {
+            self.delivered_bytes += pkt.size as u64;
+            let cum = self.receivers[f].on_data(pkt.seq, pkt.size);
+            // Emit an ACK back to the source server.
+            let src_server = self.specs[f].src;
+            let here = self.server_switch[pkt.dst_server as usize];
+            let back_to = self.server_switch[src_server as usize];
+            let mut ack = Packet::ack(
+                pkt.flow,
+                cum,
+                self.cfg.ack_bytes,
+                self.fs.start(here, back_to),
+                back_to,
+                src_server,
+                pkt.echo_ns,
+                pkt.echo_epoch,
+            );
+            // DCTCP ECN echo: reflect the data packet's mark.
+            ack.ecn = pkt.ecn;
+            self.offer(self.base_up + pkt.dst_server, ack);
+        }
+    }
+
+    /// Turns a [`TcpOutput`] into packets and timers.
+    fn apply_tcp_output(&mut self, flow: FlowId, out: TcpOutput) {
+        let f = flow as usize;
+        let spec = &self.specs[f];
+        let (src, dst) = (spec.src, spec.dst);
+        let src_sw = self.server_switch[src as usize];
+        let dst_sw = self.server_switch[dst as usize];
+        let epoch = self.senders[f].epoch();
+        // Flowlet detection at the sending host: an idle gap longer than
+        // the threshold starts a new flowlet, re-rolling the ECMP hash.
+        if let Some(gap) = self.cfg.flowlet_gap_ns {
+            if !out.send.is_empty() {
+                if self.now.saturating_sub(self.last_emit_ns[f]) > gap {
+                    self.flowlet_id[f] = self.flowlet_id[f].wrapping_add(1);
+                }
+                self.last_emit_ns[f] = self.now;
+            }
+        }
+        for act in &out.send {
+            let mut pkt = Packet::data(
+                flow,
+                act.seq,
+                act.size,
+                self.fs.start(src_sw, dst_sw),
+                dst_sw,
+                dst,
+                self.now,
+                epoch,
+            );
+            pkt.flowlet = self.flowlet_id[f];
+            self.offer(self.base_up + src, pkt);
+        }
+        if let Some((deadline, gen)) = out.set_timer {
+            self.push(deadline, Ev::Rto(flow, gen));
+        }
+        if out.completed && self.fct[f].is_none() {
+            self.fct[f] = Some(self.now - self.specs[f].start_ns);
+            self.completed += 1;
+        }
+    }
+}
+
+/// splitmix64 finalizer — cheap, well-mixed hashing for ECMP.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spineless_routing::RoutingScheme;
+    use spineless_topo::dring::DRing;
+    use spineless_topo::leafspine::LeafSpine;
+
+    fn small_ls() -> Topology {
+        LeafSpine::new(4, 2).build() // 6 leaves, 2 spines, 24 servers
+    }
+
+    fn sim(topo: &Topology, scheme: RoutingScheme, seed: u64) -> Simulation {
+        let fs = ForwardingState::build(&topo.graph, scheme);
+        Simulation::new(topo, fs, SimConfig::default(), seed)
+    }
+
+    #[test]
+    fn same_rack_flow_completes_fast() {
+        let t = small_ls();
+        let mut s = sim(&t, RoutingScheme::Ecmp, 1);
+        // Servers 0 and 1 share leaf 0.
+        let f = s.add_flow(0, 1, 15_000, 0).unwrap();
+        let r = s.run();
+        let fct = r.flows[f as usize].fct_ns.unwrap();
+        // 10 segments over two server hops; must finish well under 100 us.
+        assert!(fct < 100_000, "fct {fct}");
+        assert_eq!(r.flows[f as usize].retransmits, 0);
+        assert_eq!(r.dropped_packets, 0);
+    }
+
+    #[test]
+    fn cross_rack_flow_completes() {
+        let t = small_ls();
+        let mut s = sim(&t, RoutingScheme::Ecmp, 1);
+        // Server 0 (leaf 0) to server 23 (leaf 5).
+        let f = s.add_flow(0, 23, 100_000, 0).unwrap();
+        let r = s.run();
+        assert!(r.flows[f as usize].fct_ns.is_some());
+        // 100 KB at 10 Gbps is 80 us serialization alone.
+        assert!(r.flows[f as usize].fct_ns.unwrap() > 80_000);
+        assert_eq!(r.unfinished(), 0);
+    }
+
+    #[test]
+    fn fct_close_to_ideal_for_unloaded_path() {
+        // A single long flow on an idle network should achieve near line
+        // rate: FCT ≈ bytes / rate + small slow-start and RTT overhead.
+        let t = small_ls();
+        let mut s = sim(&t, RoutingScheme::Ecmp, 2);
+        let bytes = 1_000_000u64;
+        let f = s.add_flow(0, 23, bytes, 0).unwrap();
+        let r = s.run();
+        let fct = r.flows[f as usize].fct_ns.unwrap() as f64;
+        let ideal = bytes as f64 / 1.25; // ns at 10G
+        assert!(fct > ideal, "can't beat line rate");
+        assert!(fct < 2.0 * ideal, "fct {fct} vs ideal {ideal}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let t = small_ls();
+        let run = |seed| {
+            let mut s = sim(&t, RoutingScheme::Ecmp, seed);
+            for i in 0..8 {
+                s.add_flow(i, 23 - i, 50_000, (i as u64) * 1000).unwrap();
+            }
+            let r = s.run();
+            (r.fcts(), r.events)
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7).0, run(8).0, "different seeds give different ECMP picks");
+    }
+
+    #[test]
+    fn incast_causes_drops_but_all_flows_finish() {
+        let t = small_ls();
+        let mut s = sim(&t, RoutingScheme::Ecmp, 3);
+        // 12 senders from distinct remote racks into server 0: classic
+        // incast on the server downlink.
+        for i in 0..12 {
+            s.add_flow(8 + i, 0, 150_000, 0).unwrap();
+        }
+        let r = s.run();
+        assert_eq!(r.unfinished(), 0);
+        assert!(r.dropped_packets > 0, "incast should overflow the downlink");
+        let rtx: u32 = r.flows.iter().map(|f| f.retransmits).sum();
+        assert!(rtx > 0);
+    }
+
+    #[test]
+    fn su2_routing_works_on_dring() {
+        let t = DRing::uniform(6, 2, 24).build();
+        let mut s = sim(&t, RoutingScheme::ShortestUnion(2), 4);
+        let n = t.num_servers();
+        for i in 0..16 {
+            let src = i % n;
+            let dst = (i * 7 + 3) % n;
+            if src != dst {
+                s.add_flow(src, dst, 30_000, (i as u64) * 500).unwrap();
+            }
+        }
+        let r = s.run();
+        assert_eq!(r.unfinished(), 0);
+        assert!(r.delivered_bytes >= 16 * 30_000 * 9 / 10);
+    }
+
+    #[test]
+    fn rejects_bad_flows() {
+        let t = small_ls();
+        let mut s = sim(&t, RoutingScheme::Ecmp, 5);
+        assert_eq!(s.add_flow(0, 999, 100, 0), Err(SimError::BadServer(999)));
+        assert_eq!(s.add_flow(999, 0, 100, 0), Err(SimError::BadServer(999)));
+        assert_eq!(s.add_flow(0, 1, 0, 0), Err(SimError::EmptyFlow));
+    }
+
+    #[test]
+    fn max_time_truncates() {
+        let t = small_ls();
+        let fs = ForwardingState::build(&t.graph, RoutingScheme::Ecmp);
+        let cfg = SimConfig { max_time_ns: 10_000, ..Default::default() };
+        let mut s = Simulation::new(&t, fs, cfg, 6);
+        s.add_flow(0, 23, 100_000_000, 0).unwrap(); // can't finish in 10 us
+        let r = s.run();
+        assert_eq!(r.unfinished(), 1);
+        assert!(r.end_ns <= 10_000);
+    }
+
+    #[test]
+    fn ecmp_spreads_flows_over_spines() {
+        let t = small_ls();
+        let mut s = sim(&t, RoutingScheme::Ecmp, 9);
+        // Many flows leaf 0 -> leaf 5; with 2 spines both should carry some.
+        for i in 0..4 {
+            for j in 0..4 {
+                s.add_flow(i, 20 + j, 50_000, 0).unwrap();
+            }
+        }
+        s.run();
+        let tx = s.switch_link_tx_bytes();
+        // Spine switches are nodes 6 and 7; count bytes on links touching
+        // each spine.
+        let mut per_spine = [0u64; 2];
+        for (e, &(a, b)) in s.edge_ends.iter().enumerate() {
+            for spine in [6u32, 7u32] {
+                if a == spine || b == spine {
+                    per_spine[(spine - 6) as usize] += tx[2 * e] + tx[2 * e + 1];
+                }
+            }
+        }
+        assert!(per_spine[0] > 0 && per_spine[1] > 0, "{per_spine:?}");
+    }
+
+    #[test]
+    fn utilization_accounting_is_sane() {
+        let t = small_ls();
+        let mut s = sim(&t, RoutingScheme::Ecmp, 10);
+        s.add_flow(0, 23, 500_000, 0).unwrap();
+        s.run();
+        let u = s.mean_switch_link_utilization();
+        assert!(u > 0.0 && u < 1.0, "{u}");
+    }
+
+    #[test]
+    fn flowlet_switching_spreads_one_flow_over_many_paths() {
+        // With per-flow ECMP a single flow between leaves pins one spine;
+        // with an (artificially tiny) flowlet gap every send burst re-rolls
+        // the hash and both spines carry bytes.
+        let t = small_ls();
+        let run = |gap: Option<u64>| {
+            let fs = ForwardingState::build(&t.graph, RoutingScheme::Ecmp);
+            let cfg = SimConfig { flowlet_gap_ns: gap, ..Default::default() };
+            let mut s = Simulation::new(&t, fs, cfg, 31);
+            s.add_flow(0, 23, 2_000_000, 0).unwrap();
+            let r = s.run();
+            assert_eq!(r.unfinished(), 0);
+            let tx = s.switch_link_tx_bytes();
+            let mut per_spine = [0u64; 2];
+            for (e, &(a, b)) in s.edge_ends.iter().enumerate() {
+                for spine in [6u32, 7u32] {
+                    if a == spine || b == spine {
+                        per_spine[(spine - 6) as usize] += tx[2 * e] + tx[2 * e + 1];
+                    }
+                }
+            }
+            per_spine
+        };
+        let pinned = run(None);
+        // One spine carries (essentially) everything: the other sees only
+        // the ACK stream at most.
+        assert!(
+            pinned[0].min(pinned[1]) * 10 < pinned[0].max(pinned[1]),
+            "{pinned:?}"
+        );
+        let sprayed = run(Some(0));
+        assert!(
+            sprayed[0] > 0 && sprayed[1] > 0 && sprayed[0].min(sprayed[1]) * 10 >= sprayed[0].max(sprayed[1]) / 10,
+            "{sprayed:?}"
+        );
+    }
+
+    #[test]
+    fn dctcp_tames_incast_drops() {
+        // The same incast under DCTCP vs NewReno: ECN backpressure should
+        // slash drops and retransmissions.
+        let t = small_ls();
+        let run = |transport| {
+            let fs = ForwardingState::build(&t.graph, RoutingScheme::Ecmp);
+            let cfg = SimConfig { transport, ..Default::default() };
+            let mut s = Simulation::new(&t, fs, cfg, 3);
+            for i in 0..12 {
+                s.add_flow(8 + i, 0, 150_000, 0).unwrap();
+            }
+            let r = s.run();
+            assert_eq!(r.unfinished(), 0);
+            let rtx: u32 = r.flows.iter().map(|f| f.retransmits).sum();
+            (r.dropped_packets, rtx)
+        };
+        let (drops_reno, rtx_reno) = run(crate::types::Transport::NewReno);
+        let (drops_dctcp, rtx_dctcp) = run(crate::types::Transport::Dctcp);
+        assert!(
+            drops_dctcp * 2 < drops_reno,
+            "DCTCP {drops_dctcp} drops vs NewReno {drops_reno}"
+        );
+        assert!(rtx_dctcp <= rtx_reno, "{rtx_dctcp} vs {rtx_reno}");
+    }
+
+    #[test]
+    fn dual_plane_forwarding_runs_through_the_engine() {
+        // The adaptive plane (§7) must drive the same engine: flows on the
+        // ECMP plane and on the SU plane all complete.
+        use spineless_routing::DualPlane;
+        let t = DRing::uniform(6, 2, 24).build();
+        let dual = DualPlane::by_path_count(&t.graph, 2, 4);
+        let mut sim = Simulation::new(&t, dual, SimConfig::default(), 21);
+        let n = t.num_servers();
+        for i in 0..24 {
+            let src = (i * 5) % n;
+            let dst = (i * 11 + 7) % n;
+            if src != dst {
+                sim.add_flow(src, dst, 40_000, (i as u64) * 1_000).unwrap();
+            }
+        }
+        let r = sim.run();
+        assert_eq!(r.unfinished(), 0);
+        assert!(r.delivered_bytes > 0);
+    }
+
+    #[test]
+    fn flow_to_self_rack_without_network_links_is_fine() {
+        // Same-rack traffic must not touch switch links at all.
+        let t = small_ls();
+        let mut s = sim(&t, RoutingScheme::Ecmp, 11);
+        s.add_flow(0, 2, 50_000, 0).unwrap();
+        let r = s.run();
+        assert_eq!(r.unfinished(), 0);
+        assert_eq!(s.switch_link_tx_bytes().iter().sum::<u64>(), 0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Directed links with drop-tail output queues.
+//!
+//! A directed link serializes one packet at a time at its fixed rate; while
+//! busy, arriving packets wait in a byte-bounded FIFO and overflow is
+//! dropped at the tail — the standard commodity-switch output-queue model
+//! htsim uses.
+
+use crate::packet::Packet;
+use std::collections::VecDeque;
+
+/// State of one directed link's output port.
+#[derive(Debug, Clone, Default)]
+pub struct LinkQueue {
+    /// Waiting packets (head is next to transmit).
+    queue: VecDeque<Packet>,
+    /// Bytes currently waiting (excludes the packet being serialized).
+    queued_bytes: u64,
+    /// `true` while a packet is on the wire.
+    busy: bool,
+    /// Packets dropped at this queue.
+    pub drops: u64,
+    /// Total bytes ever accepted for transmission (utilization accounting).
+    pub tx_bytes: u64,
+}
+
+/// What [`LinkQueue::offer`] decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Offer {
+    /// The link was idle: start serializing this packet now.
+    StartTx,
+    /// The link was busy: the packet is queued.
+    Queued,
+    /// The queue was full: the packet is gone.
+    Dropped,
+}
+
+impl LinkQueue {
+    /// Creates an idle, empty queue.
+    pub fn new() -> LinkQueue {
+        LinkQueue::default()
+    }
+
+    /// Offers a packet to the port. `cap_bytes` is the drop-tail limit on
+    /// *waiting* bytes; `ecn_threshold` (if set) marks the packet when the
+    /// backlog at arrival is at or above it (DCTCP's instantaneous-queue
+    /// marking).
+    pub fn offer(
+        &mut self,
+        mut pkt: Packet,
+        cap_bytes: u64,
+        ecn_threshold: Option<u64>,
+    ) -> Offer {
+        if let Some(k) = ecn_threshold {
+            if self.queued_bytes >= k {
+                pkt.ecn = true;
+            }
+        }
+        if !self.busy {
+            debug_assert!(self.queue.is_empty());
+            self.busy = true;
+            self.tx_bytes += pkt.size as u64;
+            Offer::StartTx
+        } else if self.queued_bytes + pkt.size as u64 <= cap_bytes {
+            self.queued_bytes += pkt.size as u64;
+            self.queue.push_back(pkt);
+            Offer::Queued
+        } else {
+            self.drops += 1;
+            Offer::Dropped
+        }
+    }
+
+    /// The wire finished serializing: dequeue the next packet to transmit,
+    /// if any. Returns `None` (and goes idle) when the queue is empty.
+    pub fn tx_done(&mut self) -> Option<Packet> {
+        debug_assert!(self.busy);
+        match self.queue.pop_front() {
+            Some(p) => {
+                self.queued_bytes -= p.size as u64;
+                self.tx_bytes += p.size as u64;
+                Some(p)
+            }
+            None => {
+                self.busy = false;
+                None
+            }
+        }
+    }
+
+    /// Bytes waiting behind the wire (not counting the in-flight packet).
+    pub fn backlog_bytes(&self) -> u64 {
+        self.queued_bytes
+    }
+
+    /// Whether a packet is currently being serialized.
+    pub fn is_busy(&self) -> bool {
+        self.busy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(size: u32) -> Packet {
+        Packet::data(0, 0, size, 0, 0, 0, 0, 0)
+    }
+
+    #[test]
+    fn idle_link_starts_immediately() {
+        let mut q = LinkQueue::new();
+        assert_eq!(q.offer(pkt(1500), 3000, None), Offer::StartTx);
+        assert!(q.is_busy());
+        assert_eq!(q.backlog_bytes(), 0);
+        assert_eq!(q.tx_bytes, 1500);
+    }
+
+    #[test]
+    fn busy_link_queues_until_full() {
+        let mut q = LinkQueue::new();
+        assert_eq!(q.offer(pkt(1500), 3000, None), Offer::StartTx);
+        assert_eq!(q.offer(pkt(1500), 3000, None), Offer::Queued);
+        assert_eq!(q.offer(pkt(1500), 3000, None), Offer::Queued);
+        assert_eq!(q.backlog_bytes(), 3000);
+        // Fourth exceeds the 3000-byte cap.
+        assert_eq!(q.offer(pkt(1500), 3000, None), Offer::Dropped);
+        assert_eq!(q.drops, 1);
+    }
+
+    #[test]
+    fn small_packet_fits_when_big_does_not() {
+        let mut q = LinkQueue::new();
+        q.offer(pkt(1500), 2000, None);
+        q.offer(pkt(1500), 2000, None);
+        assert_eq!(q.offer(pkt(1500), 2000, None), Offer::Dropped);
+        assert_eq!(q.offer(pkt(400), 2000, None), Offer::Queued);
+        assert_eq!(q.backlog_bytes(), 1900);
+    }
+
+    #[test]
+    fn tx_done_drains_fifo_then_idles() {
+        let mut q = LinkQueue::new();
+        q.offer(pkt(100), 10_000, None);
+        let mut second = pkt(200);
+        second.seq = 42;
+        q.offer(second, 10_000, None);
+        let nxt = q.tx_done().unwrap();
+        assert_eq!(nxt.seq, 42);
+        assert!(q.is_busy());
+        assert!(q.tx_done().is_none());
+        assert!(!q.is_busy());
+        assert_eq!(q.tx_bytes, 300);
+    }
+}

@@ -1,0 +1,116 @@
+//! The packet a simulated wire carries.
+//!
+//! Data segments and ACKs use the same struct; an ACK's `seq` field holds
+//! the receiver's cumulative acknowledgement. Packets carry the VRF-graph
+//! node they currently sit at, which is how Shortest-Union(K) transit state
+//! (the VRF a real switch would key on the ingress interface) is modelled
+//! without any per-switch per-flow state.
+
+use crate::types::{FlowId, Ns};
+use spineless_graph::NodeId;
+
+/// A packet in flight or queued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet {
+    /// Owning flow.
+    pub flow: FlowId,
+    /// Data: first byte offset of this segment. ACK: cumulative ack
+    /// (all bytes `< seq` received in order).
+    pub seq: u64,
+    /// Bytes on the wire (payload for data; header size for ACKs).
+    pub size: u32,
+    /// `true` for ACKs travelling receiver → sender.
+    pub is_ack: bool,
+    /// VRF-graph node the packet currently occupies (valid while it is
+    /// inside the switching fabric).
+    pub vnode: NodeId,
+    /// Destination *router* (ToR of the destination server).
+    pub dst_router: NodeId,
+    /// Destination server (global id).
+    pub dst_server: u32,
+    /// Echoed send timestamp for RTT sampling (data: stamped at send;
+    /// ACK: copied from the data packet that triggered it).
+    pub echo_ns: Ns,
+    /// Retransmission epoch at stamping time; the sender only takes RTT
+    /// samples whose epoch matches (Karn's algorithm).
+    pub echo_epoch: u32,
+    /// Flowlet number (0 unless flowlet switching is enabled): bursts
+    /// separated by an idle gap re-roll their ECMP hash, the load-balancing
+    /// trick of CONGA/LetFlow that §2's hybrid scheme leans on.
+    pub flowlet: u32,
+    /// ECN congestion-experienced mark (data: set by queues above the
+    /// DCTCP threshold; ACK: the echoed mark).
+    pub ecn: bool,
+}
+
+impl Packet {
+    /// A data segment.
+    #[allow(clippy::too_many_arguments)]
+    pub fn data(
+        flow: FlowId,
+        seq: u64,
+        size: u32,
+        vnode: NodeId,
+        dst_router: NodeId,
+        dst_server: u32,
+        echo_ns: Ns,
+        echo_epoch: u32,
+    ) -> Packet {
+        Packet {
+            flow,
+            seq,
+            size,
+            is_ack: false,
+            vnode,
+            dst_router,
+            dst_server,
+            echo_ns,
+            echo_epoch,
+            flowlet: 0,
+            ecn: false,
+        }
+    }
+
+    /// An ACK segment (reverse direction).
+    #[allow(clippy::too_many_arguments)]
+    pub fn ack(
+        flow: FlowId,
+        cum_ack: u64,
+        size: u32,
+        vnode: NodeId,
+        dst_router: NodeId,
+        dst_server: u32,
+        echo_ns: Ns,
+        echo_epoch: u32,
+    ) -> Packet {
+        Packet {
+            flow,
+            seq: cum_ack,
+            size,
+            is_ack: true,
+            vnode,
+            dst_router,
+            dst_server,
+            echo_ns,
+            echo_epoch,
+            flowlet: 0,
+            ecn: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_direction_flag() {
+        let d = Packet::data(1, 3000, 1500, 7, 2, 40, 123, 0);
+        assert!(!d.is_ack);
+        assert_eq!(d.seq, 3000);
+        let a = Packet::ack(1, 4500, 40, 9, 5, 12, 123, 0);
+        assert!(a.is_ack);
+        assert_eq!(a.seq, 4500);
+        assert_eq!(a.size, 40);
+    }
+}

@@ -1,0 +1,212 @@
+//! Dragonfly topology (extension; paper §7, "Other static networks").
+//!
+//! §7 notes that "flat networks like Slim Fly and Dragonfly which are
+//! essentially low-diameter graphs have been shown to have high
+//! performance. We expect them to also have high performance at small
+//! scales but practicality might be limited since they require
+//! non-oblivious routing techniques." We include the canonical Dragonfly
+//! [Kim et al., ISCA '08] so that expectation can be tested inside this
+//! workspace, with both ECMP and Shortest-Union(K) standing in for its
+//! usual adaptive routing.
+//!
+//! Structure: `g` groups of `a` routers; routers within a group form a
+//! complete graph; each router contributes `h` global ports and every pair
+//! of groups is joined by at least one global link when `g - 1 ≤ a·h`
+//! (the balanced sizing `g = a·h + 1` gives exactly one per pair).
+
+use crate::topology::{TopoError, Topology};
+use spineless_graph::GraphBuilder;
+
+/// Builder for the canonical Dragonfly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dragonfly {
+    /// Routers per group (`a`).
+    pub routers_per_group: u32,
+    /// Global links per router (`h`).
+    pub global_per_router: u32,
+    /// Number of groups (`g`); balanced when `g = a·h + 1`.
+    pub groups: u32,
+    /// Servers attached to each router (`p`).
+    pub servers_per_router: u32,
+    /// Switch radix.
+    pub ports_per_switch: u32,
+}
+
+impl Dragonfly {
+    /// The balanced sizing: `g = a·h + 1` groups.
+    pub fn balanced(a: u32, h: u32, p: u32, radix: u32) -> Dragonfly {
+        Dragonfly {
+            routers_per_group: a,
+            global_per_router: h,
+            groups: a * h + 1,
+            servers_per_router: p,
+            ports_per_switch: radix,
+        }
+    }
+
+    /// Number of switches (`a · g`).
+    pub fn num_switches(&self) -> u32 {
+        self.routers_per_group * self.groups
+    }
+
+    /// Fallible construction.
+    pub fn try_build(&self) -> Result<Topology, TopoError> {
+        let (a, h, g, p) = (
+            self.routers_per_group,
+            self.global_per_router,
+            self.groups,
+            self.servers_per_router,
+        );
+        if a < 2 || g < 2 {
+            return Err(TopoError::BadParameter(format!(
+                "dragonfly needs a >= 2 and g >= 2, got a={a}, g={g}"
+            )));
+        }
+        if g - 1 > a * h {
+            return Err(TopoError::BadParameter(format!(
+                "dragonfly: {} group pairs per group exceed a*h = {} global ports",
+                g - 1,
+                a * h
+            )));
+        }
+        let degree_needed = (a - 1) + h + p;
+        if degree_needed > self.ports_per_switch {
+            return Err(TopoError::PortOverflow {
+                switch: 0,
+                needed: degree_needed,
+                radix: self.ports_per_switch,
+            });
+        }
+        let n = a * g;
+        let mut b = GraphBuilder::new(n);
+        // Intra-group complete graphs.
+        for grp in 0..g {
+            let base = grp * a;
+            for i in 0..a {
+                for j in (i + 1)..a {
+                    b.add_edge(base + i, base + j);
+                }
+            }
+        }
+        // Global links: one per unordered group pair, endpoints assigned
+        // round-robin so each router takes at most h.
+        let mut next_port = vec![0u32; g as usize]; // global links used so far
+        for gi in 0..g {
+            for gj in (gi + 1)..g {
+                let ri = gi * a + next_port[gi as usize] / h.max(1);
+                let rj = gj * a + next_port[gj as usize] / h.max(1);
+                next_port[gi as usize] += 1;
+                next_port[gj as usize] += 1;
+                b.add_edge(ri, rj);
+            }
+        }
+        Topology::new(
+            format!("dragonfly(a={a},h={h},g={g})"),
+            b.build(),
+            vec![p; n as usize],
+            self.ports_per_switch,
+        )
+    }
+
+    /// Builds the topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameters; use [`try_build`](Self::try_build)
+    /// for untrusted input.
+    pub fn build(&self) -> Topology {
+        self.try_build().expect("invalid dragonfly parameters")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spineless_graph::bfs;
+
+    #[test]
+    fn balanced_dragonfly_dimensions() {
+        // a=4, h=2: g = 9 groups, 36 routers.
+        let d = Dragonfly::balanced(4, 2, 6, 16);
+        let t = d.build();
+        assert_eq!(t.num_switches(), 36);
+        assert_eq!(t.num_servers(), 216);
+        assert!(t.is_flat());
+        assert!(t.graph.is_connected());
+        // Degree = (a-1) intra + h global = 5 everywhere (balanced).
+        assert_eq!(t.graph.regular_degree(), Some(5));
+    }
+
+    #[test]
+    fn diameter_is_at_most_three() {
+        // local -> global -> local: the defining dragonfly property.
+        let t = Dragonfly::balanced(4, 2, 4, 16).build();
+        assert!(bfs::diameter(&t.graph).unwrap() <= 3);
+        let t = Dragonfly::balanced(3, 3, 4, 16).build();
+        assert!(bfs::diameter(&t.graph).unwrap() <= 3);
+    }
+
+    #[test]
+    fn every_group_pair_has_a_global_link() {
+        let d = Dragonfly::balanced(3, 2, 2, 12);
+        let t = d.build();
+        let a = d.routers_per_group;
+        for gi in 0..d.groups {
+            for gj in (gi + 1)..d.groups {
+                let mut found = false;
+                for i in 0..a {
+                    for j in 0..a {
+                        if t.graph.has_edge(gi * a + i, gj * a + j) {
+                            found = true;
+                        }
+                    }
+                }
+                assert!(found, "groups {gi},{gj}");
+            }
+        }
+    }
+
+    #[test]
+    fn intra_group_is_complete() {
+        let d = Dragonfly::balanced(4, 1, 2, 10);
+        let t = d.build();
+        for grp in 0..d.groups {
+            let base = grp * 4;
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    assert!(t.graph.has_edge(base + i, base + j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        // Too many groups for the global ports.
+        assert!(Dragonfly {
+            routers_per_group: 2,
+            global_per_router: 1,
+            groups: 5,
+            servers_per_router: 1,
+            ports_per_switch: 8,
+        }
+        .try_build()
+        .is_err());
+        // Radix overflow.
+        assert!(matches!(
+            Dragonfly::balanced(4, 2, 12, 16).try_build(),
+            Err(TopoError::PortOverflow { .. })
+        ));
+        assert!(Dragonfly::balanced(1, 1, 1, 8).try_build().is_err());
+    }
+
+    #[test]
+    fn global_ports_respect_h() {
+        // No router may exceed (a-1) + h links.
+        let d = Dragonfly::balanced(4, 2, 2, 16);
+        let t = d.build();
+        for v in 0..t.num_switches() {
+            assert!(t.graph.degree(v) <= 3 + 2, "router {v}");
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Data-center topology builders for the *Spineless Data Centers*
+//! reproduction.
+//!
+//! The central artifact is [`Topology`]: a switch-level multigraph (from
+//! [`spineless_graph`]) plus a server placement (how many servers hang off
+//! each switch). The paper contrasts:
+//!
+//! * [`leafspine`] — the industry-standard 2-tier Clos, `leaf-spine(x, y)`:
+//!   `y` spines, `x + y` leaves, `x` servers per leaf (§3.1).
+//! * [`dring`] — the paper's new *flat* topology: a ring supergraph where
+//!   supernode `i` connects to `i±1` and `i±2`, each supernode holding a
+//!   group of ToRs, adjacent supernodes fully bipartitely cabled (§3.2).
+//! * [`rrg`] — the Jellyfish-style random regular graph, the canonical
+//!   high-end expander baseline (§5.1).
+//! * [`xpander`] — an Xpander-style lifted expander, a cabling-friendly
+//!   alternative with matching performance (§2), built as random k-lifts of
+//!   a complete graph.
+//! * [`flat`] — the flat-rewiring transformation `F(T)`: same switches, same
+//!   ports, same server count, servers spread evenly over all switches and
+//!   the freed ports recabled as network links (§3.1).
+//! * [`dragonfly`] / [`slimfly`] — the canonical Dragonfly and the
+//!   McKay–Miller–Širáň Slim Fly, §7's "other static networks" comparison
+//!   points (extensions beyond the paper's evaluated set).
+//! * [`metrics`] — Network-Server Ratio (NSR), Uplink-to-Downlink Factor
+//!   (UDF), and structural summaries (diameter, mean path length, spectral
+//!   gap, bisection) used throughout the evaluation.
+//!
+//! # Example: the paper's three evaluation topologies
+//!
+//! ```
+//! use spineless_topo::{leafspine::LeafSpine, dring::DRing, rrg::Rrg};
+//!
+//! // leaf-spine(48, 16): 64 leaves, 16 spines, 3072 servers (§5.1).
+//! let ls = LeafSpine::new(48, 16).build();
+//! assert_eq!(ls.num_servers(), 3072);
+//!
+//! // DRing with 12 supernodes of mixed sizes: 80 racks (§5.1).
+//! let dr = DRing::paper_config().build();
+//! assert_eq!(dr.num_racks(), 80);
+//!
+//! // RRG rewired from the same equipment as the leaf-spine.
+//! let rrg = Rrg::from_equipment(ls.equipment(), 7).build();
+//! assert_eq!(rrg.num_servers(), 3072);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dragonfly;
+pub mod dring;
+pub mod flat;
+pub mod leafspine;
+pub mod metrics;
+pub mod rrg;
+pub mod slimfly;
+pub mod topology;
+pub mod xpander;
+
+pub use topology::{Equipment, ServerId, TopoError, Topology};

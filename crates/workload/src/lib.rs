@@ -1,0 +1,36 @@
+//! Traffic workloads for the *Spineless Data Centers* evaluation (§5.2).
+//!
+//! The paper evaluates seven traffic matrices:
+//!
+//! * **Uniform / A2A** — each flow gets a uniformly random source and
+//!   destination server ([`tm::TrafficMatrix::uniform`]).
+//! * **Rack-to-rack (R2R)** — all servers of one rack send to all servers
+//!   of another ([`tm::TrafficMatrix::rack_to_rack`]).
+//! * **C-S model** — `C` client hosts packed into the fewest racks send to
+//!   `S` server hosts packed into the fewest other racks; sweeping `C` and
+//!   `S` spans incast, rack-to-rack, skew and uniform ([`cs`]).
+//! * **FB skewed / FB uniform** — rack-level matrices shaped like the
+//!   Facebook frontend (skewed) and Hadoop (near-uniform) clusters of
+//!   Roy et al. The raw Facebook data is proprietary, so [`TrafficMatrix::fb_skewed`](tm::TrafficMatrix::fb_skewed)
+//!   and [`TrafficMatrix::fb_uniform`](tm::TrafficMatrix::fb_uniform) synthesize matrices with the same qualitative
+//!   structure (see DESIGN.md's substitution table): lognormal per-rack
+//!   activity with heavy skew vs. mild jitter around uniform.
+//! * **Random placement (RP)** variants — the same server-level traffic
+//!   with servers randomly permuted across the DC
+//!   ([`flows::FlowSet::randomly_placed`]).
+//!
+//! Flow sizes follow the paper's Pareto distribution (mean 100 KB, shape
+//! 1.05, [`pareto`]); start times are uniform over the simulation window;
+//! flow count is set by scaling the matrix to a target offered load.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cs;
+pub mod flows;
+pub mod pareto;
+pub mod tm;
+
+pub use cs::CsAssignment;
+pub use flows::{FlowSet, FlowSpec};
+pub use tm::TrafficMatrix;

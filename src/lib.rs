@@ -1,0 +1,64 @@
+//! # Spineless — flat data-center topologies with practical routing
+//!
+//! A complete Rust reproduction of *Spineless Data Centers* (Harsh,
+//! Abdu Jyothi, Godfrey — HotNets '20): the DRing flat topology, the
+//! Shortest-Union(K) routing scheme with its BGP/VRF realization, the
+//! NSR/UDF analysis, and the full evaluation pipeline (packet-level TCP
+//! simulation and max-min fluid throughput) that regenerates every figure
+//! of the paper.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`graph`] | graph substrate: BFS/Dijkstra, path enumeration, max-flow, spectral & cut metrics |
+//! | [`topo`] | topology builders: leaf-spine, DRing, RRG/Jellyfish, Xpander, flat rewiring, NSR/UDF |
+//! | [`routing`] | ECMP, Shortest-Union(K), the VRF graph, BGP control-plane simulation, path diversity |
+//! | [`sim`] | packet-level discrete-event simulator with TCP NewReno |
+//! | [`fluid`] | max-min fair fluid throughput solver |
+//! | [`workload`] | traffic matrices, the C-S model, Pareto flow sizes |
+//! | [`core`] | the paper's experiments: Fig. 4 FCT grid, Fig. 5 heatmaps, Fig. 6 scale study, UDF table |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use spineless::prelude::*;
+//!
+//! // Build the paper's three topologies at quick-run scale.
+//! let topos = EvalTopos::build(Scale::Small, 42);
+//!
+//! // Route the DRing with Shortest-Union(2) and simulate a few flows.
+//! let fs = ForwardingState::build(&topos.dring.graph, RoutingScheme::ShortestUnion(2));
+//! let mut sim = Simulation::new(&topos.dring, fs, SimConfig::default(), 42);
+//! sim.add_flow(0, 100, 200_000, 0).unwrap();
+//! let report = sim.run();
+//! assert_eq!(report.unfinished(), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use spineless_core as core;
+pub use spineless_fluid as fluid;
+pub use spineless_graph as graph;
+pub use spineless_routing as routing;
+pub use spineless_sim as sim;
+pub use spineless_topo as topo;
+pub use spineless_workload as workload;
+
+/// The most commonly used types, one `use` away.
+pub mod prelude {
+    pub use spineless_core::fct::{paper_combos, FctConfig, TmKind, TopoKind};
+    pub use spineless_core::topos::{EvalTopos, Scale};
+    pub use spineless_fluid::solve as fluid_solve;
+    pub use spineless_routing::{ForwardingState, RoutingScheme, VrfGraph};
+    pub use spineless_sim::{SimConfig, SimReport, Simulation};
+    pub use spineless_topo::dring::DRing;
+    pub use spineless_topo::leafspine::LeafSpine;
+    pub use spineless_topo::rrg::Rrg;
+    pub use spineless_topo::xpander::Xpander;
+    pub use spineless_topo::Topology;
+    pub use spineless_workload::cs::CsAssignment;
+    pub use spineless_workload::pareto::ParetoFlowSizes;
+    pub use spineless_workload::{FlowSet, TrafficMatrix};
+}

@@ -1,0 +1,159 @@
+//! Property-based tests for the packet simulator and the fluid solver:
+//! whatever the workload, conservation laws and fairness invariants hold.
+
+use proptest::prelude::*;
+use spineless::fluid::{max_min_rates, solve, LinkSpace};
+use spineless::prelude::*;
+use spineless::routing::Forwarding;
+
+/// (src, dst, bytes, start_ns) tuples.
+type RandomFlows = Vec<(u32, u32, u64, u64)>;
+
+/// Strategy: a small DRing or leaf-spine plus a batch of random flows.
+fn topo_and_flows() -> impl Strategy<Value = (Topology, RoutingScheme, RandomFlows)> {
+    (any::<bool>(), any::<u64>(), 1usize..24).prop_map(|(dring, seed, nflows)| {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let topo = if dring {
+            DRing::uniform(6, 2, 24).build()
+        } else {
+            LeafSpine::new(6, 2).build()
+        };
+        let scheme = if dring {
+            RoutingScheme::ShortestUnion(2)
+        } else {
+            RoutingScheme::Ecmp
+        };
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = topo.num_servers();
+        let flows: Vec<(u32, u32, u64, u64)> = (0..nflows)
+            .map(|_| {
+                let src = rng.gen_range(0..n);
+                let dst = loop {
+                    let d = rng.gen_range(0..n);
+                    if d != src {
+                        break d;
+                    }
+                };
+                (src, dst, rng.gen_range(1..200_000u64), rng.gen_range(0..500_000u64))
+            })
+            .collect();
+        (topo, scheme, flows)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every admitted flow eventually completes, FCTs are bounded below by
+    /// the serialization time, and delivered bytes cover every flow.
+    #[test]
+    fn all_flows_complete_and_fcts_are_physical(
+        (topo, scheme, flows) in topo_and_flows()
+    ) {
+        let fs = ForwardingState::build(&topo.graph, scheme);
+        let mut sim = Simulation::new(&topo, fs, SimConfig::default(), 1);
+        for &(s, d, b, t) in &flows {
+            sim.add_flow(s, d, b, t).expect("valid flow");
+        }
+        let report = sim.run();
+        prop_assert_eq!(report.unfinished(), 0);
+        let total: u64 = flows.iter().map(|f| f.2).sum();
+        prop_assert!(report.delivered_bytes >= total);
+        for rec in &report.flows {
+            let fct = rec.fct_ns.expect("finished") as f64;
+            // Lower bound: last byte must serialize over at least one link
+            // at 1.25 B/ns plus one propagation delay.
+            let floor = rec.bytes as f64 / 1.25;
+            prop_assert!(fct >= floor, "fct {fct} below physical floor {floor}");
+        }
+    }
+
+    /// Bit-identical reruns: the simulator is a pure function of
+    /// (topology, flows, seed).
+    #[test]
+    fn simulator_is_deterministic((topo, scheme, flows) in topo_and_flows()) {
+        let run = || {
+            let fs = ForwardingState::build(&topo.graph, scheme);
+            let mut sim = Simulation::new(&topo, fs, SimConfig::default(), 7);
+            for &(s, d, b, t) in &flows {
+                sim.add_flow(s, d, b, t).expect("valid flow");
+            }
+            let r = sim.run();
+            (r.fcts(), r.events, r.dropped_packets)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Fluid solver: no directed link is over capacity, every finite-rate
+    /// flow crosses at least one saturated link (max-min bottleneck
+    /// property), and all rates are positive.
+    #[test]
+    fn fluid_allocation_is_max_min((topo, scheme, flows) in topo_and_flows()) {
+        let fs = ForwardingState::build(&topo.graph, scheme);
+        let demands: Vec<(u32, u32)> = flows.iter().map(|f| (f.0, f.1)).collect();
+        let space = LinkSpace::new(&topo);
+        // Re-derive the per-flow link sets exactly as solve() does, using
+        // the same seed, to audit the allocation.
+        let sol = solve(&topo, &fs, &demands, 99);
+        prop_assert_eq!(sol.rates.len(), demands.len());
+        // Reconstruct usage.
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(99);
+        let mut links_per_flow: Vec<Vec<u32>> = Vec::new();
+        for &(s, d) in &demands {
+            let ssw = topo.switch_of(s);
+            let dsw = topo.switch_of(d);
+            let mut links = vec![space.uplink(s)];
+            if ssw != dsw {
+                let route = fs.sample_route_generic(ssw, dsw, &mut rng).expect("reachable");
+                let mut cur = ssw;
+                for &(next, edge) in &route {
+                    links.push(space.switch_link(edge, cur));
+                    cur = next;
+                }
+            }
+            links.push(space.downlink(d));
+            links_per_flow.push(links);
+        }
+        let mut used = vec![0.0f64; space.num_links() as usize];
+        for (fl, &r) in links_per_flow.iter().zip(&sol.rates) {
+            prop_assert!(r > 0.0);
+            for &l in fl {
+                used[l as usize] += r;
+            }
+        }
+        for (l, &u) in used.iter().enumerate() {
+            prop_assert!(u <= 1.0 + 1e-6, "link {l} over capacity: {u}");
+        }
+        // Bottleneck property.
+        for (i, fl) in links_per_flow.iter().enumerate() {
+            let bottlenecked = fl.iter().any(|&l| used[l as usize] >= 1.0 - 1e-6);
+            prop_assert!(bottlenecked, "flow {i} has spare capacity everywhere");
+        }
+    }
+
+    /// Raw max-min kernel: rates are invariant under flow permutation.
+    #[test]
+    fn max_min_is_symmetric(seed in any::<u64>(), nflows in 2usize..12) {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let links = 6usize;
+        let flows: Vec<Vec<u32>> = (0..nflows)
+            .map(|_| {
+                let len = rng.gen_range(1..=3);
+                (0..len).map(|_| rng.gen_range(0..links as u32)).collect()
+            })
+            .collect();
+        let cap = vec![1.0; links];
+        let base = max_min_rates(links, &cap, &flows);
+        // Reverse the flow order; rates must map accordingly.
+        let rev: Vec<Vec<u32>> = flows.iter().rev().cloned().collect();
+        let rrates = max_min_rates(links, &cap, &rev);
+        for (i, r) in base.iter().enumerate() {
+            let j = nflows - 1 - i;
+            prop_assert!((r - rrates[j]).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the topology builders: whatever the
+//! parameters, construction invariants hold — port budgets, connectivity,
+//! flatness, equipment accounting.
+
+use proptest::prelude::*;
+use spineless::prelude::*;
+use spineless::topo::dragonfly::Dragonfly;
+use spineless::topo::flat::flatten;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Leaf-spine: dimensions and port budget for arbitrary (x, y).
+    #[test]
+    fn leafspine_invariants(x in 1u32..24, y in 1u32..12) {
+        let t = LeafSpine::new(x, y).build();
+        prop_assert_eq!(t.num_servers(), x * (x + y));
+        prop_assert_eq!(t.num_racks(), x + y);
+        prop_assert_eq!(t.num_switches(), x + 2 * y);
+        prop_assert!(t.graph.is_connected());
+        for v in 0..t.num_switches() {
+            prop_assert_eq!(t.ports_used(v), x + y, "switch {} uses full radix", v);
+        }
+        prop_assert!(!t.is_flat());
+    }
+
+    /// DRing: every ToR's ports are fully used (network + servers = radix),
+    /// the network is flat and connected, and supergraph adjacency is the
+    /// only source of links.
+    #[test]
+    fn dring_invariants(m in 3u32..14, n in 1u32..5) {
+        // Radix big enough for the densest supernode neighbourhood.
+        let radix = 6 * n + 2;
+        let d = DRing::uniform(m, n, radix);
+        prop_assume!(d.try_build().is_ok());
+        let t = d.build();
+        prop_assert!(t.is_flat());
+        prop_assert!(t.graph.is_connected());
+        prop_assert_eq!(t.num_racks(), m * n);
+        for v in 0..t.num_switches() {
+            prop_assert_eq!(t.ports_used(v), radix);
+        }
+        // Links only between adjacent supernodes.
+        for e in 0..t.graph.num_edges() {
+            let (a, b) = t.graph.edge(e);
+            let (sa, sb) = (d.supernode_of(a), d.supernode_of(b));
+            prop_assert_ne!(sa, sb, "no intra-supernode links");
+            let diff = (sa as i64 - sb as i64).rem_euclid(m as i64).min(
+                (sb as i64 - sa as i64).rem_euclid(m as i64),
+            );
+            prop_assert!(diff == 1 || diff == 2, "supernodes {} and {}", sa, sb);
+        }
+    }
+
+    /// RRG from random equipment: exact equipment reproduction, simple
+    /// graph, no port overflow.
+    #[test]
+    fn rrg_equipment_roundtrip(
+        switches in 6u32..30,
+        ports in 8u32..24,
+        seed in any::<u64>(),
+        servers_frac in 0.3f64..0.7,
+    ) {
+        let servers = ((switches * ports) as f64 * servers_frac) as u32;
+        let eq = spineless::topo::Equipment { switches, ports_per_switch: ports, servers };
+        // Degree feasibility: every switch needs fewer network ports than
+        // it has possible neighbours.
+        let max_net = ports - servers / switches;
+        prop_assume!((max_net as usize) < switches as usize - 1);
+        let rrg = Rrg::from_equipment(eq, seed);
+        let t = match rrg.try_build() {
+            Ok(t) => t,
+            Err(_) => return Ok(()), // rare wedges with extreme params
+        };
+        prop_assert_eq!(t.equipment(), eq);
+        for v in 0..t.num_switches() {
+            prop_assert!(t.ports_used(v) <= ports);
+            // Simple graph: no parallel edges.
+            for &(nb, _) in t.graph.neighbors(v) {
+                prop_assert_eq!(t.graph.multiplicity(v, nb), 1);
+            }
+        }
+    }
+
+    /// Flat rewiring preserves equipment and achieves flatness for any
+    /// feasible leaf-spine.
+    #[test]
+    fn flatten_preserves_equipment(x in 4u32..20, y in 2u32..8, seed in any::<u64>()) {
+        let t = LeafSpine::new(x, y).build();
+        // Feasibility of the random graph: network degree < switches - 1.
+        let eq = t.equipment();
+        let net = eq.ports_per_switch - eq.servers / eq.switches;
+        prop_assume!((net as usize) < eq.switches as usize - 1);
+        if let Ok(f) = flatten(&t, seed) {
+            prop_assert_eq!(f.equipment(), eq);
+            prop_assert!(f.is_flat());
+            prop_assert!(f.graph.is_connected());
+        }
+    }
+
+    /// Xpander lifts: regular, flat, connected, no intra-group links.
+    #[test]
+    fn xpander_invariants(d in 3u32..9, lift in 1u32..6, seed in any::<u64>()) {
+        let x = Xpander::new(d, lift, 2, d + 2, seed);
+        let t = x.build();
+        prop_assert_eq!(t.graph.regular_degree(), Some(d));
+        prop_assert!(t.is_flat());
+        prop_assert!(t.graph.is_connected());
+    }
+
+    /// Dragonfly: degree bounds, diameter <= 3, full global reachability.
+    #[test]
+    fn dragonfly_invariants(a in 2u32..6, h in 1u32..4, p in 1u32..4) {
+        let df = Dragonfly::balanced(a, h, p, (a - 1) + h + p);
+        let t = df.build();
+        prop_assert!(t.graph.is_connected());
+        prop_assert!(spineless::graph::bfs::diameter(&t.graph).unwrap() <= 3);
+        for v in 0..t.num_switches() {
+            prop_assert!(t.graph.degree(v) <= (a - 1) + h);
+        }
+    }
+
+    /// Server-id mapping is a bijection rack-by-rack for every topology
+    /// family.
+    #[test]
+    fn server_mapping_bijection(m in 3u32..10, n in 1u32..4) {
+        let radix = 6 * n + 3;
+        let d = DRing::uniform(m, n, radix);
+        prop_assume!(d.try_build().is_ok());
+        let t = d.build();
+        let mut seen = vec![false; t.num_servers() as usize];
+        for sw in 0..t.num_switches() {
+            for s in t.servers_on(sw) {
+                prop_assert_eq!(t.switch_of(s), sw);
+                prop_assert!(!seen[s as usize]);
+                seen[s as usize] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+    }
+}
