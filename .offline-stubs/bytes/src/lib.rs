@@ -1,0 +1,4 @@
+//! Typecheck-only stub of `bytes` (unused API surface in this workspace).
+
+pub struct Bytes;
+pub struct BytesMut;

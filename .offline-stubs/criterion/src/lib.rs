@@ -1,0 +1,101 @@
+//! Typecheck-only stub of `criterion` 0.5's API surface used here.
+
+use std::fmt::Display;
+use std::marker::PhantomData;
+
+pub struct Criterion;
+
+impl Criterion {
+    pub fn benchmark_group<N: Display>(&mut self, _name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _marker: PhantomData }
+    }
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _marker: PhantomData<&'a ()>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, _id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if false {
+            f(&mut Bencher { _p: () });
+        }
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, _id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        if false {
+            f(&mut Bencher { _p: () }, input);
+        }
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    _p: (),
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if false {
+            let _ = routine();
+        }
+    }
+}
+
+pub struct BenchmarkId;
+
+impl BenchmarkId {
+    pub fn new<S: Display, P: Display>(_function_name: S, _parameter: P) -> BenchmarkId {
+        BenchmarkId
+    }
+}
+
+// Real criterion takes `impl IntoBenchmarkId` (satisfied by BenchmarkId
+// and by any Display type); the stub unifies both under Display.
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BenchmarkId")
+    }
+}
+
+pub fn black_box<T>(x: T) -> T {
+    x
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,119 @@
+//! Typecheck-only stub of `rand` 0.8. Not functional.
+
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+pub trait Rng: RngCore {
+    fn gen<T: FromRng>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_rng(self.next_u64())
+    }
+
+    fn gen_range<T, R2: SampleRange<T>>(&mut self, range: R2) -> T
+    where
+        Self: Sized,
+    {
+        range.low()
+    }
+
+    fn gen_bool(&mut self, _p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        false
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub trait FromRng {
+    fn from_rng(x: u64) -> Self;
+}
+
+macro_rules! impl_from_rng {
+    ($($t:ty),*) => {
+        $(impl FromRng for $t {
+            fn from_rng(x: u64) -> Self { x as $t }
+        })*
+    };
+}
+impl_from_rng!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl FromRng for bool {
+    fn from_rng(x: u64) -> Self {
+        x & 1 == 1
+    }
+}
+impl FromRng for f64 {
+    fn from_rng(x: u64) -> Self {
+        x as f64
+    }
+}
+impl FromRng for f32 {
+    fn from_rng(x: u64) -> Self {
+        x as f32
+    }
+}
+
+pub trait SampleRange<T> {
+    fn low(self) -> T;
+}
+
+impl<T> SampleRange<T> for std::ops::Range<T> {
+    fn low(self) -> T {
+        self.start
+    }
+}
+impl<T> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn low(self) -> T {
+        self.into_inner().0
+    }
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod rngs {
+    /// Stub SmallRng: a trivial LCG so the type exists and is cheap.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng(u64);
+
+    impl crate::RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    impl crate::SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            SmallRng(state)
+        }
+    }
+}
+
+pub mod seq {
+    pub trait SliceRandom {
+        type Item;
+        fn shuffle<R: crate::Rng + ?Sized>(&mut self, rng: &mut R);
+        fn choose<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+        fn shuffle<R: crate::Rng + ?Sized>(&mut self, _rng: &mut R) {}
+        fn choose<R: crate::Rng + ?Sized>(&self, _rng: &mut R) -> Option<&T> {
+            self.first()
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Typecheck-only stub of `serde` 1.x. The derive macros expand to nothing,
+//! so `Serialize`/`Deserialize` bounds are never actually satisfied — fine
+//! for code that only *derives* them.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}
+
+pub trait Serializer {}
+
+pub trait Deserializer<'de> {}

@@ -1,32 +1,59 @@
 //! Criterion micro-benchmarks for the packet simulator: event throughput
 //! under the workload shapes the experiments use.
+//!
+//! The forwarding state is built *outside* `b.iter` — building it is a
+//! separate cost with its own `routing_state_build` case, and folding it
+//! into the simulation loop would swamp the event-processing signal the
+//! `packet_sim` numbers are meant to track.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use spineless_core::fct::{generate_workload, TmKind};
 use spineless_core::{EvalTopos, Scale};
 use spineless_routing::{ForwardingState, RoutingScheme};
-use spineless_sim::{SimConfig, Simulation};
+use spineless_sim::{Scheduler, SimConfig, Simulation};
 
 fn bench_sim(c: &mut Criterion) {
     let mut g = c.benchmark_group("packet_sim");
     g.sample_size(10);
     let topos = EvalTopos::build(Scale::Small, 1);
+    let fs = ForwardingState::build(&topos.dring.graph, RoutingScheme::ShortestUnion(2));
     for (name, tm) in [("uniform", TmKind::Uniform), ("fb_skewed", TmKind::FbSkewed)] {
         let flows = generate_workload(tm, &topos.dring, 4_000_000, 500_000, 2);
-        g.bench_with_input(BenchmarkId::new("dring_su2", name), &flows, |b, flows| {
-            b.iter(|| {
-                let fs =
-                    ForwardingState::build(&topos.dring.graph, RoutingScheme::ShortestUnion(2));
-                let mut sim = Simulation::new(&topos.dring, fs, SimConfig::default(), 3);
-                for f in &flows.flows {
-                    sim.add_flow(f.src, f.dst, f.bytes, f.start_ns).expect("valid flow");
-                }
-                sim.run()
-            })
-        });
+        for (sched_name, scheduler) in
+            [("calendar", Scheduler::Calendar), ("heap", Scheduler::ReferenceHeap)]
+        {
+            let id = BenchmarkId::new(format!("dring_su2_{sched_name}"), name);
+            g.bench_with_input(id, &flows, |b, flows| {
+                b.iter(|| {
+                    let cfg = SimConfig { scheduler, ..Default::default() };
+                    let mut sim = Simulation::new(&topos.dring, &fs, cfg, 3);
+                    for f in &flows.flows {
+                        sim.add_flow(f.src, f.dst, f.bytes, f.start_ns).expect("valid flow");
+                    }
+                    sim.run()
+                })
+            });
+        }
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_sim);
+fn bench_routing_state_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("routing_state_build");
+    g.sample_size(10);
+    let topos = EvalTopos::build(Scale::Small, 1);
+    for (name, scheme) in
+        [("ecmp", RoutingScheme::Ecmp), ("su2", RoutingScheme::ShortestUnion(2))]
+    {
+        g.bench_function(BenchmarkId::new("dring", name), |b| {
+            b.iter(|| ForwardingState::build(&topos.dring.graph, scheme))
+        });
+    }
+    g.bench_function(BenchmarkId::new("leafspine", "ecmp"), |b| {
+        b.iter(|| ForwardingState::build(&topos.leafspine.graph, RoutingScheme::Ecmp))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim, bench_routing_state_build);
 criterion_main!(benches);

@@ -1,0 +1,263 @@
+//! Performance snapshot: fixed-seed small-scale Fig. 4 / Fig. 5 workloads,
+//! timing the pre-optimization code paths (reference-heap scheduler,
+//! per-cell routing-state rebuild, serial Fig. 5 grid, full-scan fluid
+//! solver) against the current defaults (calendar queue, shared routing
+//! cache, parallel grid, active-list solver). Writes `BENCH_sim.json`
+//! (wall time, events/sec, cells/sec, speedups) and prints a summary.
+//!
+//! Both paths are measured in one invocation on the same machine, so the
+//! speedup figures are self-contained. The "before" paths are the real
+//! shipped implementations (`Scheduler::ReferenceHeap`, `run_cell`,
+//! `run_fig5_panel_serial`, `max_min_rates_reference`), not simulations of
+//! old code. Every before/after pair is asserted byte-identical before the
+//! ratio is reported.
+//!
+//! `cargo run -p spineless-bench --release --bin bench_snapshot [-- --seed N]`
+
+use spineless_bench::parse_args;
+use spineless_core::fct::{
+    generate_workload, paper_combos, run_cell, run_cell_with, FctCell, FctConfig, TmKind,
+};
+use spineless_core::throughput::{cs_axis_values, run_fig5_panel, run_fig5_panel_serial};
+use spineless_core::{EvalTopos, RoutingCache, Scale};
+use spineless_fluid::{max_min_rates, max_min_rates_reference, LinkSpace};
+use spineless_routing::{Forwarding, ForwardingState, RoutingScheme};
+use spineless_sim::{Scheduler, SimConfig, Simulation};
+use std::time::Instant;
+
+/// The Fig. 4 grid exactly as `run_fig4` runs it, minus the two
+/// optimizations: `scheduler` selects the event queue and each cell
+/// rebuilds its forwarding state (`use_cache = false`) or shares the
+/// prebuilt one (`use_cache = true`). Seeds match `run_fig4` so all
+/// variants produce the identical grid.
+fn run_fig4_grid(cfg: &FctConfig, scheduler: Scheduler, use_cache: bool) -> Vec<FctCell> {
+    let sim_cfg = SimConfig { scheduler, ..cfg.sim };
+    let topos = EvalTopos::build(cfg.scale, cfg.seed);
+    let offered = cfg.offered_bytes(&topos);
+    let cache = use_cache.then(|| RoutingCache::build(&topos, &paper_combos()));
+    let mut jobs = Vec::new();
+    for (ti, tm) in TmKind::all().into_iter().enumerate() {
+        for (tk, rs) in paper_combos() {
+            jobs.push((ti, tm, tk, rs));
+        }
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(jobs.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_mx = parking_lot::Mutex::new(Vec::<(usize, FctCell)>::new());
+    crossbeam::thread::scope(|scope| {
+        let (topos, cache, jobs, next, results_mx) = (&topos, &cache, &jobs, &next, &results_mx);
+        for _ in 0..workers {
+            scope.spawn(move |_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let (ti, tm, tk, rs) = jobs[i];
+                let topo = tk.of(topos);
+                let tm_seed = cfg
+                    .seed
+                    .wrapping_mul(0x100000001B3)
+                    .wrapping_add((ti as u64) << 20);
+                let sim_seed = tm_seed.wrapping_add(1 + i as u64);
+                let flows = generate_workload(tm, topo, offered, cfg.window_ns, tm_seed);
+                let cell = match cache {
+                    Some(cache) => {
+                        let fs = cache.get(tk, rs);
+                        run_cell_with(topo, rs, &fs, &flows, tm.label(), sim_cfg, sim_seed)
+                    }
+                    None => run_cell(topo, rs, &flows, tm.label(), sim_cfg, sim_seed),
+                };
+                results_mx.lock().push((i, cell));
+            });
+        }
+    })
+    .expect("scope");
+    let mut results = results_mx.into_inner();
+    results.sort_by_key(|&(i, _)| i);
+    results.into_iter().map(|(_, c)| c).collect()
+}
+
+fn assert_grids_identical(a: &[FctCell], b: &[FctCell], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: cell counts differ");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.median_ms.to_bits(), y.median_ms.to_bits(), "{what}: median differs");
+        assert_eq!(x.p99_ms.to_bits(), y.p99_ms.to_bits(), "{what}: p99 differs");
+        assert_eq!(x.dropped, y.dropped, "{what}: drops differ");
+    }
+}
+
+fn main() {
+    let (_scale, seed) = parse_args();
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    eprintln!("bench_snapshot: seed {seed}, {threads} threads, small scale");
+
+    // --- Scheduler microbenchmark: one dense cell, both event queues. ---
+    let topos = EvalTopos::build(Scale::Small, seed);
+    let flows = generate_workload(TmKind::Uniform, &topos.dring, 8_000_000, 1_000_000, seed);
+    let fs = ForwardingState::build(&topos.dring.graph, RoutingScheme::ShortestUnion(2));
+    let run_sched = |scheduler| {
+        let cfg = SimConfig { scheduler, ..Default::default() };
+        let mut sim = Simulation::new(&topos.dring, &fs, cfg, seed);
+        for f in &flows.flows {
+            sim.add_flow(f.src, f.dst, f.bytes, f.start_ns).expect("valid flow");
+        }
+        let t0 = Instant::now();
+        let r = sim.run();
+        (t0.elapsed().as_secs_f64(), r)
+    };
+    let (cal_s, cal_r) = run_sched(Scheduler::Calendar);
+    let (heap_s, heap_r) = run_sched(Scheduler::ReferenceHeap);
+    assert_eq!(cal_r.fcts(), heap_r.fcts(), "schedulers diverged");
+    assert_eq!(cal_r.events, heap_r.events);
+    let events = cal_r.events;
+    let sched_speedup = heap_s / cal_s;
+    eprintln!(
+        "scheduler: {events} events — calendar {:.0} ev/s vs heap {:.0} ev/s ({sched_speedup:.2}x)",
+        events as f64 / cal_s,
+        events as f64 / heap_s
+    );
+
+    // --- Fig. 4 grid end-to-end: before (heap + per-cell builds) vs
+    // after (calendar + shared cache). ---
+    let cfg = FctConfig::quick(seed);
+    let t0 = Instant::now();
+    let before = run_fig4_grid(&cfg, Scheduler::ReferenceHeap, false);
+    let fig4_before_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let after = run_fig4_grid(&cfg, Scheduler::Calendar, true);
+    let fig4_after_s = t0.elapsed().as_secs_f64();
+    assert_grids_identical(&before, &after, "fig4");
+    let fig4_cells = after.len();
+    let fig4_speedup = fig4_before_s / fig4_after_s;
+    eprintln!(
+        "fig4: {fig4_cells} cells — before {fig4_before_s:.2}s, after {fig4_after_s:.2}s ({fig4_speedup:.2}x)"
+    );
+
+    // --- Fig. 5 panel: serial reference vs parallel grid (both on the
+    // active-list fluid solver; the solver itself is timed below). ---
+    let values = cs_axis_values(Scale::Small, false);
+    let max_pairs = 60_000;
+    let t0 = Instant::now();
+    let serial =
+        run_fig5_panel_serial(&topos, RoutingScheme::ShortestUnion(2), &values, max_pairs, seed);
+    let fig5_serial_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let parallel =
+        run_fig5_panel(&topos, RoutingScheme::ShortestUnion(2), &values, max_pairs, seed);
+    let fig5_parallel_s = t0.elapsed().as_secs_f64();
+    assert_eq!(serial.len(), parallel.len(), "fig5 grids differ");
+    for (x, y) in serial.iter().zip(&parallel) {
+        assert_eq!(x.ratio.to_bits(), y.ratio.to_bits(), "fig5 cells diverged");
+    }
+    let fig5_cells = parallel.len();
+    let fig5_speedup = fig5_serial_s / fig5_parallel_s;
+    eprintln!(
+        "fig5: {fig5_cells} cells — serial {:.2} cells/s, parallel {:.2} cells/s ({fig5_speedup:.2}x)",
+        fig5_cells as f64 / fig5_serial_s,
+        fig5_cells as f64 / fig5_parallel_s
+    );
+
+    // --- Fluid solver: active-list vs full-scan on a dense C-S instance. ---
+    let space = LinkSpace::new(&topos.dring);
+    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed);
+    let n = topos.dring.num_servers();
+    let mut fl: Vec<Vec<u32>> = Vec::new();
+    for i in 0..4_000u32 {
+        let (s, d) = (i % n, (i * 31 + 17) % n);
+        if s == d {
+            fl.push(Vec::new());
+            continue;
+        }
+        let (ssw, dsw) = (topos.dring.switch_of(s), topos.dring.switch_of(d));
+        let mut links = vec![space.uplink(s)];
+        if ssw != dsw {
+            let route = fs.sample_route_generic(ssw, dsw, &mut rng).expect("reachable");
+            let mut cur = ssw;
+            for &(next, edge) in &route {
+                links.push(space.switch_link(edge, cur));
+                cur = next;
+            }
+        }
+        links.push(space.downlink(d));
+        fl.push(links);
+    }
+    let cap = vec![1.0f64; space.num_links() as usize];
+    let reps = 5;
+    let t0 = Instant::now();
+    let mut fast = Vec::new();
+    for _ in 0..reps {
+        fast = max_min_rates(space.num_links() as usize, &cap, &fl);
+    }
+    let fluid_fast_s = t0.elapsed().as_secs_f64() / reps as f64;
+    let t0 = Instant::now();
+    let mut slow = Vec::new();
+    for _ in 0..reps {
+        slow = max_min_rates_reference(space.num_links() as usize, &cap, &fl);
+    }
+    let fluid_slow_s = t0.elapsed().as_secs_f64() / reps as f64;
+    for (a, b) in fast.iter().zip(&slow) {
+        assert_eq!(a.to_bits(), b.to_bits(), "fluid solvers diverged");
+    }
+    let fluid_speedup = fluid_slow_s / fluid_fast_s;
+    eprintln!(
+        "fluid: {} flows / {} links — active-list {fluid_fast_s:.4}s vs full-scan {fluid_slow_s:.4}s ({fluid_speedup:.2}x)",
+        fl.len(),
+        space.num_links()
+    );
+
+    // Hand-rolled JSON: the workspace deliberately carries no serde_json
+    // dependency, and the document is flat enough that format! suffices.
+    let json = format!(
+        r#"{{
+  "schema": "bench_snapshot/v1",
+  "seed": {seed},
+  "scale": "small",
+  "host_threads": {threads},
+  "scheduler_microbench": {{
+    "workload": "fig4-style A2A on DRing su2, 8 MB offered",
+    "events": {events},
+    "calendar": {{ "wall_s": {cal_s:.4}, "events_per_sec": {cal_eps:.0} }},
+    "reference_heap": {{ "wall_s": {heap_s:.4}, "events_per_sec": {heap_eps:.0} }},
+    "speedup": {sched_speedup:.3},
+    "results_identical": true
+  }},
+  "fig4_small_grid": {{
+    "cells": {fig4_cells},
+    "before": {{ "scheduler": "reference_heap", "routing_state": "per-cell rebuild", "wall_s": {fig4_before_s:.3}, "cells_per_sec": {fig4_before_cps:.3} }},
+    "after": {{ "scheduler": "calendar", "routing_state": "shared cache", "wall_s": {fig4_after_s:.3}, "cells_per_sec": {fig4_after_cps:.3} }},
+    "speedup": {fig4_speedup:.3},
+    "results_identical": true
+  }},
+  "fig5_small_panel": {{
+    "cells": {fig5_cells},
+    "serial": {{ "wall_s": {fig5_serial_s:.3}, "cells_per_sec": {fig5_serial_cps:.3} }},
+    "parallel": {{ "wall_s": {fig5_parallel_s:.3}, "cells_per_sec": {fig5_parallel_cps:.3} }},
+    "speedup": {fig5_speedup:.3},
+    "results_identical": true
+  }},
+  "fluid_solver": {{
+    "flows": {fluid_flows},
+    "links": {fluid_links},
+    "active_list_wall_s": {fluid_fast_s:.5},
+    "full_scan_wall_s": {fluid_slow_s:.5},
+    "speedup": {fluid_speedup:.3},
+    "results_identical": true
+  }}
+}}
+"#,
+        cal_eps = events as f64 / cal_s,
+        heap_eps = events as f64 / heap_s,
+        fig4_before_cps = fig4_cells as f64 / fig4_before_s,
+        fig4_after_cps = fig4_cells as f64 / fig4_after_s,
+        fig5_serial_cps = fig5_cells as f64 / fig5_serial_s,
+        fig5_parallel_cps = fig5_cells as f64 / fig5_parallel_s,
+        fluid_flows = fl.len(),
+        fluid_links = space.num_links(),
+    );
+    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_sim.json");
+}

@@ -5,13 +5,25 @@
 //! `cargo run -p spineless-bench --release --bin fig5 [-- --scale paper]`
 
 use spineless_bench::parse_args;
-use spineless_core::throughput::{cs_axis_values, run_fig5_panel};
-use spineless_core::EvalTopos;
+use spineless_core::fct::TopoKind;
+use spineless_core::throughput::{cs_axis_values, run_fig5_panel_with};
+use spineless_core::{EvalTopos, RoutingCache};
 use spineless_routing::RoutingScheme;
 
 fn main() {
     let (scale, seed) = parse_args();
     let topos = EvalTopos::build(scale, seed);
+    // Four panels share three distinct forwarding states (leaf-spine ECMP
+    // appears in all of them): build each exactly once.
+    let cache = RoutingCache::build(
+        &topos,
+        &[
+            (TopoKind::LeafSpine, RoutingScheme::Ecmp),
+            (TopoKind::DRing, RoutingScheme::Ecmp),
+            (TopoKind::DRing, RoutingScheme::ShortestUnion(2)),
+        ],
+    );
+    let fs_ls = cache.get(TopoKind::LeafSpine, RoutingScheme::Ecmp);
     let max_pairs = 60_000;
     eprintln!(
         "running Fig. 5 heatmaps at {scale:?} scale (DRing {} servers, leaf-spine {})...",
@@ -27,7 +39,9 @@ fn main() {
     for (title, large, scheme) in panels {
         let values = cs_axis_values(scale, large);
         let t0 = std::time::Instant::now();
-        let cells = run_fig5_panel(&topos, scheme, &values, max_pairs, seed);
+        let fs_dring = cache.get(TopoKind::DRing, scheme);
+        let cells =
+            run_fig5_panel_with(&topos, &fs_dring, &fs_ls, &values, max_pairs, seed);
         println!("== {title} ==  (cell = throughput(DRing)/throughput(leaf-spine))");
         print!("{:>10}", "C \\ S");
         for &s in &values {

@@ -87,6 +87,15 @@ impl TopoKind {
             TopoKind::Rrg => "RRG",
         }
     }
+
+    /// The corresponding member of an [`EvalTopos`] trio.
+    pub fn of<'a>(&self, topos: &'a EvalTopos) -> &'a Topology {
+        match self {
+            TopoKind::LeafSpine => &topos.leafspine,
+            TopoKind::DRing => &topos.dring,
+            TopoKind::Rrg => &topos.rrg,
+        }
+    }
 }
 
 /// The five bars of each Fig. 4 group, in legend order.
@@ -241,7 +250,11 @@ pub fn generate_workload(
 }
 
 /// Runs one (topology, routing, workload) cell through the packet
-/// simulator and summarizes FCTs.
+/// simulator and summarizes FCTs, building the forwarding state ad hoc.
+///
+/// Grid drivers should prefer [`run_cell_with`] over a
+/// [`crate::cache::RoutingCache`]: the Fig. 4 grid has 35 cells but only 5
+/// distinct (topology, scheme) states.
 pub fn run_cell(
     topo: &Topology,
     scheme: RoutingScheme,
@@ -251,6 +264,20 @@ pub fn run_cell(
     seed: u64,
 ) -> FctCell {
     let fs = ForwardingState::build(&topo.graph, scheme);
+    run_cell_with(topo, scheme, &fs, flows, tm_label, sim_cfg, seed)
+}
+
+/// [`run_cell`] with a prebuilt forwarding state (shared by reference; the
+/// caller keeps ownership and can reuse it for further cells).
+pub fn run_cell_with(
+    topo: &Topology,
+    scheme: RoutingScheme,
+    fs: &ForwardingState,
+    flows: &FlowSet,
+    tm_label: &str,
+    sim_cfg: SimConfig,
+    seed: u64,
+) -> FctCell {
     let mut sim = Simulation::new(topo, fs, sim_cfg, seed);
     for f in &flows.flows {
         sim.add_flow(f.src, f.dst, f.bytes, f.start_ns)
@@ -277,6 +304,9 @@ pub fn run_cell(
 pub fn run_fig4(cfg: &FctConfig) -> Vec<FctCell> {
     let topos = EvalTopos::build(cfg.scale, cfg.seed);
     let offered = cfg.offered_bytes(&topos);
+    // The grid has 35 cells but only 5 distinct (topology, scheme) pairs:
+    // build each forwarding state once and share it across the pool.
+    let cache = crate::cache::RoutingCache::build(&topos, &paper_combos());
     let mut jobs: Vec<(usize, TmKind, TopoKind, RoutingScheme)> = Vec::new();
     for (ti, tm) in TmKind::all().into_iter().enumerate() {
         for (tk, rs) in paper_combos() {
@@ -284,7 +314,7 @@ pub fn run_fig4(cfg: &FctConfig) -> Vec<FctCell> {
         }
     }
     // Worker pool bounded by the host's parallelism: paper-scale cells
-    // hold substantial live state (flow tables, event heaps), so running
+    // hold substantial live state (flow tables, event queues), so running
     // all 35 at once would thrash memory on small machines.
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -293,7 +323,7 @@ pub fn run_fig4(cfg: &FctConfig) -> Vec<FctCell> {
     let next = std::sync::atomic::AtomicUsize::new(0);
     let results_mx = parking_lot::Mutex::new(Vec::<(usize, FctCell)>::new());
     crossbeam::thread::scope(|scope| {
-        let (topos, jobs, next, results_mx) = (&topos, &jobs, &next, &results_mx);
+        let (topos, cache, jobs, next, results_mx) = (&topos, &cache, &jobs, &next, &results_mx);
         for _ in 0..workers {
             scope.spawn(move |_| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -301,11 +331,8 @@ pub fn run_fig4(cfg: &FctConfig) -> Vec<FctCell> {
                     break;
                 }
                 let (ti, tm, tk, rs) = jobs[i];
-                let topo = match tk {
-                    TopoKind::LeafSpine => &topos.leafspine,
-                    TopoKind::DRing => &topos.dring,
-                    TopoKind::Rrg => &topos.rrg,
-                };
+                let topo = tk.of(topos);
+                let fs = cache.get(tk, rs);
                 // The workload seed depends on the TM only, so all five
                 // combos of one column face the *same* drawn workload
                 // (paired comparison, like the paper's shared measured
@@ -316,7 +343,7 @@ pub fn run_fig4(cfg: &FctConfig) -> Vec<FctCell> {
                     .wrapping_add((ti as u64) << 20);
                 let sim_seed = tm_seed.wrapping_add(1 + i as u64);
                 let flows = generate_workload(tm, topo, offered, cfg.window_ns, tm_seed);
-                let cell = run_cell(topo, rs, &flows, tm.label(), cfg.sim, sim_seed);
+                let cell = run_cell_with(topo, rs, &fs, &flows, tm.label(), cfg.sim, sim_seed);
                 results_mx.lock().push((i, cell));
             });
         }

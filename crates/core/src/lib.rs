@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod fct;
 pub mod scale;
 pub mod stats;
@@ -43,4 +44,5 @@ pub mod throughput;
 pub mod topos;
 pub mod udf;
 
+pub use cache::RoutingCache;
 pub use topos::{EvalTopos, Scale};

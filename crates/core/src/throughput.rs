@@ -64,10 +64,106 @@ pub fn cs_throughput(
     Some(sol.mean_rate())
 }
 
+/// One (C, S) cell of a panel; `None` when either topology cannot host
+/// the sets. The cell seed derives purely from `(seed, ci, si)`, so the
+/// serial and parallel drivers produce byte-identical grids.
+fn fig5_cell(
+    topos: &EvalTopos,
+    fs_dring: &ForwardingState,
+    fs_ls: &ForwardingState,
+    c: u32,
+    s: u32,
+    max_pairs: usize,
+    cell_seed: u64,
+) -> Option<HeatmapCell> {
+    let d = cs_throughput(&topos.dring, fs_dring, c, s, max_pairs, cell_seed)?;
+    let l = cs_throughput(&topos.leafspine, fs_ls, c, s, max_pairs, cell_seed)?;
+    Some(HeatmapCell {
+        clients: c,
+        servers: s,
+        dring_rate: d,
+        leafspine_rate: l,
+        ratio: if l > 0.0 { d / l } else { f64::NAN },
+    })
+}
+
+#[inline]
+fn fig5_cell_seed(seed: u64, ci: usize, si: usize, side: usize) -> u64 {
+    seed.wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(((ci * side + si) as u64) << 4)
+}
+
 /// Runs one Fig. 5 panel: the full (C, S) grid for one DRing routing
-/// scheme. Cells where either topology cannot host the C-S sets are
-/// omitted.
+/// scheme, cells in parallel across available cores. Cells where either
+/// topology cannot host the C-S sets are omitted.
+///
+/// Deterministic despite the parallelism: every cell's seed derives from
+/// `(seed, ci, si)` alone, so the output is byte-identical to
+/// [`run_fig5_panel_serial`] (a test pins this).
 pub fn run_fig5_panel(
+    topos: &EvalTopos,
+    dring_scheme: RoutingScheme,
+    values: &[u32],
+    max_pairs: usize,
+    seed: u64,
+) -> Vec<HeatmapCell> {
+    let fs_dring = ForwardingState::build(&topos.dring.graph, dring_scheme);
+    let fs_ls = ForwardingState::build(&topos.leafspine.graph, RoutingScheme::Ecmp);
+    run_fig5_panel_with(topos, &fs_dring, &fs_ls, values, max_pairs, seed)
+}
+
+/// [`run_fig5_panel`] with prebuilt forwarding states, so drivers running
+/// several panels (the Fig. 5 binary runs four) reuse the states instead
+/// of rebuilding them per panel.
+pub fn run_fig5_panel_with(
+    topos: &EvalTopos,
+    fs_dring: &ForwardingState,
+    fs_ls: &ForwardingState,
+    values: &[u32],
+    max_pairs: usize,
+    seed: u64,
+) -> Vec<HeatmapCell> {
+    let jobs: Vec<(usize, usize)> = (0..values.len())
+        .flat_map(|ci| (0..values.len()).map(move |si| (ci, si)))
+        .collect();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(jobs.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_mx = parking_lot::Mutex::new(Vec::<(usize, Option<HeatmapCell>)>::new());
+    crossbeam::thread::scope(|scope| {
+        let (jobs, next, results_mx) = (&jobs, &next, &results_mx);
+        for _ in 0..workers {
+            scope.spawn(move |_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let (ci, si) = jobs[i];
+                let cell_seed = fig5_cell_seed(seed, ci, si, values.len());
+                let cell = fig5_cell(
+                    topos,
+                    fs_dring,
+                    fs_ls,
+                    values[ci],
+                    values[si],
+                    max_pairs,
+                    cell_seed,
+                );
+                results_mx.lock().push((i, cell));
+            });
+        }
+    })
+    .expect("scope");
+    let mut results = results_mx.into_inner();
+    results.sort_by_key(|&(i, _)| i);
+    results.into_iter().filter_map(|(_, c)| c).collect()
+}
+
+/// The single-threaded reference implementation of a panel — kept for the
+/// serial-vs-parallel determinism test and for profiling baselines.
+pub fn run_fig5_panel_serial(
     topos: &EvalTopos,
     dring_scheme: RoutingScheme,
     values: &[u32],
@@ -79,19 +175,11 @@ pub fn run_fig5_panel(
     let mut cells = Vec::new();
     for (ci, &c) in values.iter().enumerate() {
         for (si, &s) in values.iter().enumerate() {
-            let cell_seed = seed
-                .wrapping_mul(0x9E3779B97F4A7C15)
-                .wrapping_add(((ci * values.len() + si) as u64) << 4);
-            let d = cs_throughput(&topos.dring, &fs_dring, c, s, max_pairs, cell_seed);
-            let l = cs_throughput(&topos.leafspine, &fs_ls, c, s, max_pairs, cell_seed);
-            if let (Some(d), Some(l)) = (d, l) {
-                cells.push(HeatmapCell {
-                    clients: c,
-                    servers: s,
-                    dring_rate: d,
-                    leafspine_rate: l,
-                    ratio: if l > 0.0 { d / l } else { f64::NAN },
-                });
+            let cell_seed = fig5_cell_seed(seed, ci, si, values.len());
+            if let Some(cell) =
+                fig5_cell(topos, &fs_dring, &fs_ls, c, s, max_pairs, cell_seed)
+            {
+                cells.push(cell);
             }
         }
     }
@@ -168,6 +256,25 @@ mod tests {
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.ratio, y.ratio);
+        }
+    }
+
+    #[test]
+    fn parallel_panel_is_byte_identical_to_serial() {
+        // The parallel driver must reproduce the serial reference exactly
+        // — same cells, same order, bit-identical floats — because every
+        // cell's seed derives from (seed, ci, si) alone.
+        let topos = EvalTopos::build(Scale::Small, 9);
+        for scheme in [RoutingScheme::Ecmp, RoutingScheme::ShortestUnion(2)] {
+            let par = run_fig5_panel(&topos, scheme, &[4, 12, 400], 5_000, 10);
+            let ser = run_fig5_panel_serial(&topos, scheme, &[4, 12, 400], 5_000, 10);
+            assert_eq!(par.len(), ser.len());
+            for (x, y) in par.iter().zip(&ser) {
+                assert_eq!((x.clients, x.servers), (y.clients, y.servers));
+                assert_eq!(x.dring_rate.to_bits(), y.dring_rate.to_bits());
+                assert_eq!(x.leafspine_rate.to_bits(), y.leafspine_rate.to_bits());
+                assert_eq!(x.ratio.to_bits(), y.ratio.to_bits());
+            }
         }
     }
 }

@@ -24,8 +24,93 @@ use spineless_topo::Topology;
 pub fn max_min_rates(num_links: usize, cap: &[f64], flows: &[Vec<u32>]) -> Vec<f64> {
     assert_eq!(cap.len(), num_links);
     let mut rate = vec![0.0f64; flows.len()];
-    let mut frozen = vec![false; flows.len()];
     // Active flow count per link.
+    let mut active = vec![0u32; num_links];
+    for fl in flows {
+        for &l in fl {
+            assert!((l as usize) < num_links, "link {l} out of range");
+            active[l as usize] += 1;
+        }
+    }
+    let mut used = vec![0.0f64; num_links];
+    // Work on index lists instead of scanning every link and flow each
+    // round: the lists only shrink, so late rounds (few unfrozen flows on
+    // a handful of contested links) cost what they touch, not O(L + F).
+    //
+    // Floating-point equivalence with the reference implementation
+    // ([`max_min_rates_reference`]) is exact, not approximate: within a
+    // round every update is `+= inc` on its own accumulator, so iteration
+    // *order* over flows cannot change `used`, and the `min` over link
+    // headrooms is order-independent. A test cross-checks bit equality.
+    let mut unfrozen: Vec<u32> = Vec::with_capacity(flows.len());
+    for (i, fl) in flows.iter().enumerate() {
+        if fl.is_empty() {
+            rate[i] = f64::INFINITY;
+        } else {
+            unfrozen.push(i as u32);
+        }
+    }
+    let mut active_links: Vec<u32> =
+        (0..num_links as u32).filter(|&l| active[l as usize] > 0).collect();
+    // Scratch: `saturated` marks are set and cleared per round, so the
+    // allocation never recurs.
+    let mut saturated = vec![false; num_links];
+    let mut sat_links: Vec<u32> = Vec::new();
+    const EPS: f64 = 1e-12;
+    while !unfrozen.is_empty() {
+        // Smallest equal-increment any bottleneck link permits.
+        let mut inc = f64::INFINITY;
+        for &l in &active_links {
+            let l = l as usize;
+            assert!(cap[l] > 0.0, "used link {l} has no capacity");
+            let headroom = (cap[l] - used[l]).max(0.0);
+            inc = inc.min(headroom / active[l] as f64);
+        }
+        debug_assert!(inc.is_finite(), "active flows but no constraining link");
+        // Apply the increment to all unfrozen flows.
+        for &i in &unfrozen {
+            rate[i as usize] += inc;
+            for &l in &flows[i as usize] {
+                used[l as usize] += inc;
+            }
+        }
+        // Find links saturated this round (only active links can be:
+        // every link of an unfrozen flow has active > 0).
+        sat_links.clear();
+        for &l in &active_links {
+            if used[l as usize] + EPS >= cap[l as usize] {
+                saturated[l as usize] = true;
+                sat_links.push(l);
+            }
+        }
+        // Freeze flows crossing saturated links.
+        unfrozen.retain(|&i| {
+            let fl = &flows[i as usize];
+            if fl.iter().any(|&l| saturated[l as usize]) {
+                for &l in fl {
+                    active[l as usize] -= 1;
+                }
+                false
+            } else {
+                true
+            }
+        });
+        for &l in &sat_links {
+            saturated[l as usize] = false;
+        }
+        active_links.retain(|&l| active[l as usize] > 0);
+    }
+    rate
+}
+
+/// The straightforward full-scan implementation of [`max_min_rates`]:
+/// every round walks all links for the increment and all flows for the
+/// freeze step. Kept as the bit-exactness reference (see the cross-check
+/// test) and as the baseline for the solver benchmarks.
+pub fn max_min_rates_reference(num_links: usize, cap: &[f64], flows: &[Vec<u32>]) -> Vec<f64> {
+    assert_eq!(cap.len(), num_links);
+    let mut rate = vec![0.0f64; flows.len()];
+    let mut frozen = vec![false; flows.len()];
     let mut active = vec![0u32; num_links];
     for fl in flows {
         for &l in fl {
@@ -49,7 +134,6 @@ pub fn max_min_rates(num_links: usize, cap: &[f64], flows: &[Vec<u32>]) -> Vec<f
         .sum();
     const EPS: f64 = 1e-12;
     while remaining > 0 {
-        // Smallest equal-increment any bottleneck link permits.
         let mut inc = f64::INFINITY;
         for l in 0..num_links {
             if active[l] > 0 {
@@ -59,7 +143,6 @@ pub fn max_min_rates(num_links: usize, cap: &[f64], flows: &[Vec<u32>]) -> Vec<f
             }
         }
         debug_assert!(inc.is_finite(), "active flows but no constraining link");
-        // Apply the increment to all unfrozen flows.
         for (i, fl) in flows.iter().enumerate() {
             if frozen[i] {
                 continue;
@@ -69,7 +152,6 @@ pub fn max_min_rates(num_links: usize, cap: &[f64], flows: &[Vec<u32>]) -> Vec<f
                 used[l as usize] += inc;
             }
         }
-        // Freeze flows crossing saturated links.
         let saturated: Vec<bool> = (0..num_links)
             .map(|l| active[l] > 0 && used[l] + EPS >= cap[l])
             .collect();
@@ -292,6 +374,69 @@ mod tests {
         let fs = ForwardingState::build(&t.graph, RoutingScheme::Ecmp);
         let sol = solve(&t, &fs, &[(3, 3)], 6);
         assert!(sol.rates[0].is_infinite());
+    }
+
+    #[test]
+    fn active_list_solver_is_bit_identical_to_reference() {
+        use rand::Rng;
+        // Random instances, including degenerate shapes (unused links,
+        // empty routes, heavy sharing): the active-list solver must agree
+        // with the full-scan reference to the last bit, not within an
+        // epsilon — they perform the same floating-point operations.
+        let mut rng = SmallRng::seed_from_u64(0xF1D0);
+        for case in 0..50 {
+            let num_links = rng.gen_range(1..40usize);
+            let cap: Vec<f64> = (0..num_links).map(|_| rng.gen_range(0.1..2.0)).collect();
+            let flows: Vec<Vec<u32>> = (0..rng.gen_range(0..60usize))
+                .map(|_| {
+                    let hops = rng.gen_range(0..6usize);
+                    (0..hops).map(|_| rng.gen_range(0..num_links as u32)).collect()
+                })
+                .collect();
+            let fast = max_min_rates(num_links, &cap, &flows);
+            let slow = max_min_rates_reference(num_links, &cap, &flows);
+            assert_eq!(fast.len(), slow.len());
+            for (i, (a, b)) in fast.iter().zip(&slow).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "case {case}, flow {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn solver_matches_reference_on_topology_instances() {
+        // Same cross-check on a realistic instance: ECMP-routed C-S
+        // demands over a leaf-spine, the Fig. 5 workload shape.
+        let t = LeafSpine::new(6, 3).build();
+        let fs = ForwardingState::build(&t.graph, RoutingScheme::Ecmp);
+        let space = crate::links::LinkSpace::new(&t);
+        let mut rng = SmallRng::seed_from_u64(77);
+        let mut flows = Vec::new();
+        for i in 0..120u32 {
+            let s = i % t.num_servers();
+            let d = (i * 7 + 5) % t.num_servers();
+            if s == d {
+                flows.push(Vec::new());
+                continue;
+            }
+            let (ssw, dsw) = (t.switch_of(s), t.switch_of(d));
+            let mut links = vec![space.uplink(s)];
+            if ssw != dsw {
+                let route = fs.sample_route_generic(ssw, dsw, &mut rng).unwrap();
+                let mut cur = ssw;
+                for &(next, edge) in &route {
+                    links.push(space.switch_link(edge, cur));
+                    cur = next;
+                }
+            }
+            links.push(space.downlink(d));
+            flows.push(links);
+        }
+        let cap = vec![1.0f64; space.num_links() as usize];
+        let fast = max_min_rates(space.num_links() as usize, &cap, &flows);
+        let slow = max_min_rates_reference(space.num_links() as usize, &cap, &flows);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

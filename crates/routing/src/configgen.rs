@@ -61,7 +61,8 @@ pub fn asn_of(router: NodeId) -> u32 {
 /// tail side over the `(x, y)` session, with `cost − 1` extra prepends.
 fn sessions(vrf: &VrfGraph) -> BTreeMap<EdgeId, Vec<Session>> {
     // (edge, vrf_at_a, vrf_at_b) -> (cost_ab, cost_ba)
-    let mut acc: BTreeMap<(EdgeId, u32, u32), (Option<u32>, Option<u32>)> = BTreeMap::new();
+    type SessionAcc = BTreeMap<(EdgeId, u32, u32), (Option<u32>, Option<u32>)>;
+    let mut acc: SessionAcc = BTreeMap::new();
     for arc in 0..vrf.graph.num_arcs() {
         let (tail, head, cost) = vrf.graph.arc(arc);
         let e = vrf.edge_of_arc(arc);

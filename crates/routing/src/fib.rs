@@ -253,6 +253,54 @@ impl Forwarding for ForwardingState {
     }
 }
 
+/// Forwarding through a shared reference: lets one built state drive many
+/// simulations without cloning (`Simulation::new` takes its plane by
+/// value, so pass `&state` and keep the original).
+impl<F: Forwarding> Forwarding for &F {
+    fn routers(&self) -> u32 {
+        (**self).routers()
+    }
+    fn start(&self, src: NodeId, dst: NodeId) -> NodeId {
+        (**self).start(src, dst)
+    }
+    fn delivered(&self, vnode: NodeId, dst: NodeId) -> bool {
+        (**self).delivered(vnode, dst)
+    }
+    fn reachable(&self, src: NodeId, dst: NodeId) -> bool {
+        (**self).reachable(src, dst)
+    }
+    fn router_of(&self, vnode: NodeId) -> NodeId {
+        (**self).router_of(vnode)
+    }
+    fn next_hop(&self, vnode: NodeId, dst: NodeId, hash: u64) -> (NodeId, EdgeId) {
+        (**self).next_hop(vnode, dst, hash)
+    }
+}
+
+/// Forwarding through an [`Arc`](std::sync::Arc): the sharing mode the
+/// parallel experiment drivers use — build each distinct (topology, scheme)
+/// state once, hand clones of the `Arc` to worker threads.
+impl<F: Forwarding> Forwarding for std::sync::Arc<F> {
+    fn routers(&self) -> u32 {
+        (**self).routers()
+    }
+    fn start(&self, src: NodeId, dst: NodeId) -> NodeId {
+        (**self).start(src, dst)
+    }
+    fn delivered(&self, vnode: NodeId, dst: NodeId) -> bool {
+        (**self).delivered(vnode, dst)
+    }
+    fn reachable(&self, src: NodeId, dst: NodeId) -> bool {
+        (**self).reachable(src, dst)
+    }
+    fn router_of(&self, vnode: NodeId) -> NodeId {
+        (**self).router_of(vnode)
+    }
+    fn next_hop(&self, vnode: NodeId, dst: NodeId, hash: u64) -> (NodeId, EdgeId) {
+        (**self).next_hop(vnode, dst, hash)
+    }
+}
+
 /// Cross-check helper: physical-graph ECMP next hops computed directly with
 /// BFS (no VRF machinery). Used in tests to pin the `K = 1` degeneration.
 pub fn physical_ecmp_next_hops(g: &Graph, dst: NodeId) -> Vec<Vec<NodeId>> {

@@ -1,11 +1,13 @@
 //! The discrete-event engine: wires topology, forwarding state, link
 //! queues and TCP together.
 //!
-//! Time is nanoseconds; the event heap orders by `(time, insertion seq)`,
-//! so runs are exactly reproducible. Each packet hop costs two events
-//! (serialization done, arrival after propagation), matching htsim's store-
-//! and-forward model.
+//! Time is nanoseconds; the event queue orders by `(time, insertion seq)`,
+//! so runs are exactly reproducible regardless of the scheduler
+//! implementation (see [`crate::equeue`]). Each packet hop costs two
+//! events (serialization done, arrival after propagation), matching
+//! htsim's store-and-forward model.
 
+use crate::equeue::EventQueue;
 use crate::link::{LinkQueue, Offer};
 use crate::packet::Packet;
 use crate::tcp::{TcpOutput, TcpReceiver, TcpSender};
@@ -15,8 +17,6 @@ use rand::{Rng, SeedableRng};
 use spineless_graph::NodeId;
 use spineless_routing::{Forwarding, ForwardingState};
 use spineless_topo::Topology;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Everything that can happen.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,24 +29,6 @@ enum Ev {
     TxDone(DirLinkId),
     /// A TCP retransmission timer fires.
     Rto(FlowId, u64),
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Scheduled {
-    t: Ns,
-    seq: u64,
-    ev: Ev,
-}
-
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.t, self.seq).cmp(&(other.t, other.seq))
-    }
-}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
 }
 
 /// Error from flow admission.
@@ -114,7 +96,7 @@ pub struct Simulation<F: Forwarding = ForwardingState> {
     flowlet_id: Vec<u32>,
     last_emit_ns: Vec<Ns>,
 
-    heap: BinaryHeap<Reverse<Scheduled>>,
+    queue: EventQueue<Ev>,
     seq: u64,
     now: Ns,
     events: u64,
@@ -165,7 +147,7 @@ impl<F: Forwarding> Simulation<F> {
             switch_salt,
             flowlet_id: Vec::new(),
             last_emit_ns: Vec::new(),
-            heap: BinaryHeap::new(),
+            queue: EventQueue::new(cfg.scheduler),
             seq: 0,
             now: 0,
             events: 0,
@@ -220,16 +202,16 @@ impl<F: Forwarding> Simulation<F> {
 
     /// Runs to completion (or `cfg.max_time_ns`) and reports.
     pub fn run(&mut self) -> SimReport {
-        while let Some(Reverse(s)) = self.heap.pop() {
-            if s.t > self.cfg.max_time_ns {
+        while let Some((t, _seq, ev)) = self.queue.pop() {
+            if t > self.cfg.max_time_ns {
                 self.now = self.cfg.max_time_ns;
                 break;
             }
-            self.now = s.t;
+            self.now = t;
             self.events += 1;
-            match s.ev {
+            match ev {
                 Ev::FlowStart(f) => {
-                    let out = self.senders[f as usize].start(s.t);
+                    let out = self.senders[f as usize].start(t);
                     self.apply_tcp_output(f, out);
                 }
                 Ev::TxDone(link) => {
@@ -241,7 +223,7 @@ impl<F: Forwarding> Simulation<F> {
                 }
                 Ev::Arrive(link, pkt) => self.on_arrive(link, pkt),
                 Ev::Rto(f, gen) => {
-                    let out = self.senders[f as usize].on_timer(s.t, gen);
+                    let out = self.senders[f as usize].on_timer(t, gen);
                     self.apply_tcp_output(f, out);
                 }
             }
@@ -299,7 +281,7 @@ impl<F: Forwarding> Simulation<F> {
 
     fn push(&mut self, t: Ns, ev: Ev) {
         self.seq += 1;
-        self.heap.push(Reverse(Scheduled { t, seq: self.seq, ev }));
+        self.queue.push(t, self.seq, ev);
     }
 
     fn link_delay(&self, link: DirLinkId) -> Ns {
@@ -699,6 +681,47 @@ mod tests {
         let r = sim.run();
         assert_eq!(r.unfinished(), 0);
         assert!(r.delivered_bytes > 0);
+    }
+
+    /// Runs the same seeded workload under both schedulers and demands a
+    /// byte-identical outcome: full per-flow FCT vector, event count,
+    /// drops and delivered bytes. Because `(time, insertion seq)` is a
+    /// total order, any divergence is a scheduler ordering bug.
+    fn assert_schedulers_agree(topo: &Topology, scheme: RoutingScheme, seed: u64) {
+        use crate::types::Scheduler;
+        let run = |scheduler| {
+            let fs = ForwardingState::build(&topo.graph, scheme);
+            let cfg = SimConfig { scheduler, ..Default::default() };
+            let mut s = Simulation::new(topo, fs, cfg, seed);
+            let n = topo.num_servers();
+            for i in 0..32 {
+                let src = (i * 5) % n;
+                let dst = (i * 13 + 3) % n;
+                if src != dst {
+                    // Mixed sizes: short flows stress tie-breaking, long
+                    // ones stress queue buildup and RTO scheduling.
+                    let bytes = if i % 4 == 0 { 600_000 } else { 20_000 };
+                    s.add_flow(src, dst, bytes, (i as u64) * 700).unwrap();
+                }
+            }
+            let r = s.run();
+            let fcts: Vec<Option<Ns>> = r.flows.iter().map(|f| f.fct_ns).collect();
+            (fcts, r.events, r.dropped_packets, r.delivered_bytes, r.end_ns)
+        };
+        assert_eq!(run(Scheduler::Calendar), run(Scheduler::ReferenceHeap));
+    }
+
+    #[test]
+    fn calendar_queue_matches_heap_on_leafspine_ecmp() {
+        let t = small_ls();
+        assert_schedulers_agree(&t, RoutingScheme::Ecmp, 41);
+        assert_schedulers_agree(&t, RoutingScheme::Ecmp, 42);
+    }
+
+    #[test]
+    fn calendar_queue_matches_heap_on_dring_su2() {
+        let t = DRing::uniform(6, 2, 24).build();
+        assert_schedulers_agree(&t, RoutingScheme::ShortestUnion(2), 43);
     }
 
     #[test]

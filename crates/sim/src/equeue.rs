@@ -1,0 +1,423 @@
+//! Event schedulers: a calendar queue (the fast default) and a reference
+//! binary heap, both dequeuing in exact `(time, insertion seq)` order.
+//!
+//! The simulator's event mix is dominated by near-future work: `TxDone`
+//! and `Arrive` events land 1–3 packet-serialization times (a few µs)
+//! ahead of now, while only RTO timers and flow starts sit further out.
+//! A comparison-based heap pays `O(log n)` per operation on that mix; a
+//! calendar queue (R. Brown, "Calendar Queues: A Fast O(1) Priority Queue
+//! Implementation for the Simulation Event Set Problem", CACM 1988) pays
+//! amortized `O(1)` by hashing events into time buckets and walking the
+//! buckets in time order — the same structure htsim-style simulators use.
+//!
+//! Both implementations order events by the total key `(t, seq)` where
+//! `seq` is the unique, monotonically increasing insertion sequence. Since
+//! the key is total, *any* correct priority queue yields the identical
+//! event order, so switching schedulers can never change simulation
+//! results — a property the determinism tests in `engine` pin down.
+
+use crate::types::Ns;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One scheduled event: the ordering key plus its payload.
+///
+/// Ordering (and equality) consider only `(t, seq)`; `seq` is unique per
+/// queue so the order is total and payloads never need comparing.
+#[derive(Debug, Clone, Copy)]
+pub struct Entry<E> {
+    /// Event time, ns.
+    pub t: Ns,
+    /// Insertion sequence number (unique, increasing).
+    pub seq: u64,
+    /// The event payload.
+    pub ev: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.t, self.seq) == (other.t, other.seq)
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.t, self.seq).cmp(&(other.t, other.seq))
+    }
+}
+
+/// Reference scheduler: a plain binary min-heap. `O(log n)` per op, kept
+/// as the determinism cross-check baseline.
+#[derive(Debug, Clone)]
+pub struct HeapQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+}
+
+impl<E> HeapQueue<E> {
+    /// Creates an empty heap scheduler.
+    pub fn new() -> HeapQueue<E> {
+        HeapQueue { heap: BinaryHeap::new() }
+    }
+
+    /// Inserts an event. `seq` must be unique and increasing.
+    pub fn push(&mut self, t: Ns, seq: u64, ev: E) {
+        self.heap.push(Reverse(Entry { t, seq, ev }));
+    }
+
+    /// Removes and returns the earliest event by `(t, seq)`.
+    pub fn pop(&mut self) -> Option<(Ns, u64, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.t, e.seq, e.ev))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for HeapQueue<E> {
+    fn default() -> Self {
+        HeapQueue::new()
+    }
+}
+
+/// Bucketed calendar queue tuned for the simulator's ns-resolution,
+/// near-future event mix.
+///
+/// Time is divided into `2^shift`-ns *days*; the wheel covers `buckets`
+/// consecutive days (the *horizon*). Events inside the horizon live in the
+/// bucket of their day; events beyond it wait in an overflow min-heap and
+/// migrate into the wheel as the current day advances. The current day's
+/// bucket is kept sorted (descending, so the minimum pops from the back);
+/// other buckets are unsorted and get sorted once, when the wheel reaches
+/// them.
+///
+/// With the default geometry (2048 ns × 2048 buckets ≈ 4.2 ms horizon)
+/// virtually every `TxDone`/`Arrive` event lands a bucket or two ahead and
+/// only RTO timers (≥ 1 ms) ride near the far edge, so pushes are `O(1)`
+/// appends and pops are `O(1)` plus an amortized per-bucket sort of a
+/// handful of entries.
+#[derive(Debug, Clone)]
+pub struct CalendarQueue<E> {
+    /// `buckets[d & mask]` holds events of day `d` within the horizon.
+    buckets: Vec<Vec<Entry<E>>>,
+    /// `buckets.len() - 1`; bucket count is a power of two.
+    mask: u64,
+    /// log2 of the bucket width in ns.
+    shift: u32,
+    /// Day index (`t >> shift`) of the current bucket.
+    day: u64,
+    /// `(day & mask) as usize`, cached.
+    cur: usize,
+    /// Events beyond the horizon, ordered by `(t, seq)`.
+    overflow: BinaryHeap<Reverse<Entry<E>>>,
+    /// Events currently stored in wheel buckets.
+    wheel_len: usize,
+    /// Total pending events (wheel + overflow).
+    len: usize,
+}
+
+impl<E> CalendarQueue<E> {
+    /// Default geometry: 2^11 ns ≈ 2 µs buckets, 2048 of them (≈ 4.2 ms
+    /// horizon — beyond the 1 ms minimum RTO, so timers rarely overflow).
+    pub fn new() -> CalendarQueue<E> {
+        CalendarQueue::with_geometry(11, 2048)
+    }
+
+    /// Creates a queue with `2^shift`-ns buckets and `num_buckets` of them
+    /// (rounded up to a power of two).
+    pub fn with_geometry(shift: u32, num_buckets: usize) -> CalendarQueue<E> {
+        let n = num_buckets.next_power_of_two().max(2);
+        CalendarQueue {
+            buckets: (0..n).map(|_| Vec::new()).collect(),
+            mask: (n - 1) as u64,
+            shift,
+            day: 0,
+            cur: 0,
+            overflow: BinaryHeap::new(),
+            wheel_len: 0,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn day_of(&self, t: Ns) -> u64 {
+        t >> self.shift
+    }
+
+    /// Inserts an event. `seq` must be unique and increasing; `t` must not
+    /// precede the last popped event's time (the discrete-event contract).
+    pub fn push(&mut self, t: Ns, seq: u64, ev: E) {
+        self.len += 1;
+        // Clamp into the current day defensively: the engine never
+        // schedules into the past, but a clamped placement still dequeues
+        // in correct (t, seq) order relative to everything pending.
+        let d = self.day_of(t).max(self.day);
+        if d >= self.day + self.buckets.len() as u64 {
+            self.overflow.push(Reverse(Entry { t, seq, ev }));
+            return;
+        }
+        let b = (d & self.mask) as usize;
+        if b == self.cur {
+            // The current bucket is sorted descending by (t, seq); insert
+            // in order so the back stays the minimum.
+            let key = (t, seq);
+            let pos = self.buckets[b].partition_point(|x| (x.t, x.seq) > key);
+            self.buckets[b].insert(pos, Entry { t, seq, ev });
+        } else {
+            self.buckets[b].push(Entry { t, seq, ev });
+        }
+        self.wheel_len += 1;
+    }
+
+    /// Removes and returns the earliest event by `(t, seq)`.
+    pub fn pop(&mut self) -> Option<(Ns, u64, E)> {
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            if let Some(e) = self.buckets[self.cur].pop() {
+                self.len -= 1;
+                self.wheel_len -= 1;
+                return Some((e.t, e.seq, e.ev));
+            }
+            // Current bucket exhausted: advance to the next non-empty day.
+            if self.wheel_len == 0 {
+                // Whole wheel empty — jump straight to the overflow's
+                // earliest day instead of walking empty buckets.
+                let Reverse(min) = self.overflow.peek().expect("len > 0 with empty wheel");
+                self.day = self.day_of(min.t).max(self.day);
+            } else {
+                self.day += 1;
+            }
+            self.cur = (self.day & self.mask) as usize;
+            self.migrate_overflow();
+            // Entering this bucket for the first time this revolution:
+            // order it (descending) so pops come off the back.
+            self.buckets[self.cur].sort_unstable_by_key(|e| std::cmp::Reverse((e.t, e.seq)));
+        }
+    }
+
+    /// Pulls overflow events that now fall inside the horizon into their
+    /// wheel buckets.
+    fn migrate_overflow(&mut self) {
+        let horizon = self.day + self.buckets.len() as u64;
+        while let Some(Reverse(e)) = self.overflow.peek() {
+            if self.day_of(e.t) >= horizon {
+                break;
+            }
+            let Reverse(e) = self.overflow.pop().expect("peeked");
+            let b = (self.day_of(e.t) & self.mask) as usize;
+            self.buckets[b].push(e);
+            self.wheel_len += 1;
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl<E> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        CalendarQueue::new()
+    }
+}
+
+/// Runtime-selectable scheduler, so one engine serves both the fast path
+/// and the reference path (see [`crate::types::Scheduler`]).
+#[derive(Debug, Clone)]
+pub enum EventQueue<E> {
+    /// The calendar queue (default).
+    Calendar(CalendarQueue<E>),
+    /// The reference binary heap.
+    Heap(HeapQueue<E>),
+}
+
+impl<E> EventQueue<E> {
+    /// Creates the scheduler selected by `kind`.
+    pub fn new(kind: crate::types::Scheduler) -> EventQueue<E> {
+        match kind {
+            crate::types::Scheduler::Calendar => EventQueue::Calendar(CalendarQueue::new()),
+            crate::types::Scheduler::ReferenceHeap => EventQueue::Heap(HeapQueue::new()),
+        }
+    }
+
+    /// Inserts an event. `seq` must be unique and increasing.
+    #[inline]
+    pub fn push(&mut self, t: Ns, seq: u64, ev: E) {
+        match self {
+            EventQueue::Calendar(q) => q.push(t, seq, ev),
+            EventQueue::Heap(q) => q.push(t, seq, ev),
+        }
+    }
+
+    /// Removes and returns the earliest event by `(t, seq)`.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(Ns, u64, E)> {
+        match self {
+            EventQueue::Calendar(q) => q.pop(),
+            EventQueue::Heap(q) => q.pop(),
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        match self {
+            EventQueue::Calendar(q) => q.len(),
+            EventQueue::Heap(q) => q.len(),
+        }
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Drains both schedulers loaded with the same batch and checks the
+    /// calendar queue against the heap (which is trivially correct).
+    fn cross_check(batch: &[(Ns, E)], shift: u32, buckets: usize) {
+        let mut cal = CalendarQueue::with_geometry(shift, buckets);
+        let mut heap = HeapQueue::new();
+        for (seq, &(t, ev)) in batch.iter().enumerate() {
+            cal.push(t, seq as u64, ev);
+            heap.push(t, seq as u64, ev);
+        }
+        assert_eq!(cal.len(), heap.len());
+        let mut last = None;
+        loop {
+            let a = cal.pop();
+            let b = heap.pop();
+            assert_eq!(a, b);
+            match a {
+                None => break,
+                Some((t, seq, _)) => {
+                    if let Some((lt, ls)) = last {
+                        assert!((lt, ls) < (t, seq), "order violated");
+                    }
+                    last = Some((t, seq));
+                }
+            }
+        }
+        assert!(cal.is_empty());
+    }
+
+    type E = u32;
+
+    #[test]
+    fn empty_queue_pops_none() {
+        let mut q: CalendarQueue<E> = CalendarQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn single_event_roundtrip() {
+        let mut q = CalendarQueue::new();
+        q.push(12_345, 1, 7u32);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((12_345, 1, 7)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_timestamp_ties_break_by_seq() {
+        let batch: Vec<(Ns, E)> = (0..32).map(|i| (1_000, i)).collect();
+        cross_check(&batch, 11, 16);
+    }
+
+    #[test]
+    fn far_future_events_go_through_overflow_and_back() {
+        // RTO-like events far beyond the horizon, interleaved with
+        // near-future traffic.
+        let mut batch = Vec::new();
+        for i in 0..200u32 {
+            batch.push(((i as Ns) * 1_700, i));
+            if i % 10 == 0 {
+                batch.push((1_000_000 + (i as Ns) * 999_999, 1000 + i));
+            }
+        }
+        cross_check(&batch, 8, 8); // tiny horizon forces heavy overflow use
+    }
+
+    #[test]
+    fn interleaved_push_pop_preserves_order() {
+        // Simulate the engine's pattern: pop one, push a few slightly in
+        // the future, repeat.
+        let mut cal = CalendarQueue::with_geometry(10, 64);
+        let mut heap = HeapQueue::new();
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut seq = 0u64;
+        let push = |cal: &mut CalendarQueue<E>, heap: &mut HeapQueue<E>, t: Ns, s: &mut u64| {
+            *s += 1;
+            cal.push(t, *s, (*s) as u32);
+            heap.push(t, *s, (*s) as u32);
+        };
+        for i in 0..64 {
+            push(&mut cal, &mut heap, i * 13, &mut seq);
+        }
+        let mut now = 0;
+        for _ in 0..5_000 {
+            let a = cal.pop();
+            assert_eq!(a, heap.pop());
+            let Some((t, _, _)) = a else { break };
+            assert!(t >= now);
+            now = t;
+            let n = rng.gen_range(0..3u32);
+            for _ in 0..n {
+                let dt: u64 = if rng.gen_bool(0.05) {
+                    1_000_000 + rng.gen_range(0..5_000_000)
+                } else {
+                    rng.gen_range(0..6_000)
+                };
+                push(&mut cal, &mut heap, now + dt, &mut seq);
+            }
+        }
+    }
+
+    #[test]
+    fn random_batches_match_heap_across_geometries() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for (shift, buckets) in [(11, 2048), (4, 4), (0, 2), (16, 8)] {
+            let batch: Vec<(Ns, E)> = (0..500)
+                .map(|i| (rng.gen_range(0..10_000_000u64), i))
+                .collect();
+            cross_check(&batch, shift, buckets);
+        }
+    }
+
+    #[test]
+    fn push_at_current_time_is_returned_before_advancing() {
+        let mut q = CalendarQueue::with_geometry(4, 8);
+        q.push(100, 1, 1u32);
+        q.push(5_000, 2, 2);
+        assert_eq!(q.pop(), Some((100, 1, 1)));
+        // An event at the already-reached time must still come out first.
+        q.push(100, 3, 3);
+        assert_eq!(q.pop(), Some((100, 3, 3)));
+        assert_eq!(q.pop(), Some((5_000, 2, 2)));
+    }
+}

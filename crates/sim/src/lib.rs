@@ -17,6 +17,10 @@
 //!   backoff and RTT estimation per RFC 6298);
 //! * everything is deterministic given the seed: the event queue breaks
 //!   time ties by insertion order and ECMP hashes derive from the seed.
+//!   The default scheduler is a calendar queue ([`equeue::CalendarQueue`]);
+//!   because event order is a total order on `(time, insertion seq)`, the
+//!   reference heap scheduler ([`types::Scheduler::ReferenceHeap`])
+//!   produces byte-identical results, which the determinism tests assert.
 //!
 //! The top-level type is [`engine::Simulation`]; see the crate examples and
 //! `spineless-core` for how the paper's experiments drive it.
@@ -25,10 +29,12 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod equeue;
 pub mod link;
 pub mod packet;
 pub mod tcp;
 pub mod types;
 
 pub use engine::Simulation;
-pub use types::{FlowId, FlowRecord, SimConfig, SimReport};
+pub use equeue::{CalendarQueue, EventQueue, HeapQueue};
+pub use types::{FlowId, FlowRecord, Scheduler, SimConfig, SimReport};

@@ -51,6 +51,21 @@ pub struct SimConfig {
     /// DCTCP ECN marking threshold, bytes of queue backlog (the classic
     /// K; ~20 full packets at 10 Gbps).
     pub ecn_threshold_bytes: u64,
+    /// Event-scheduler implementation. Purely a performance knob: event
+    /// order is a total order on `(time, insertion seq)`, so every
+    /// scheduler produces byte-identical results.
+    pub scheduler: Scheduler,
+}
+
+/// Which event-scheduler implementation the engine uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Scheduler {
+    /// Bucketed calendar queue (amortized O(1) per event) — the default.
+    #[default]
+    Calendar,
+    /// Binary min-heap — the reference implementation, kept for
+    /// determinism cross-checks against the calendar queue.
+    ReferenceHeap,
 }
 
 /// Congestion-control algorithm for every flow of a simulation.
@@ -78,6 +93,7 @@ impl Default for SimConfig {
             flowlet_gap_ns: None,
             transport: Transport::NewReno,
             ecn_threshold_bytes: 30_000, // 20 packets
+            scheduler: Scheduler::Calendar,
         }
     }
 }

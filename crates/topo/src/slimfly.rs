@@ -154,7 +154,7 @@ fn is_prime(n: u32) -> bool {
     }
     let mut d = 2u32;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             return false;
         }
         d += 1;

@@ -4,7 +4,7 @@
 //!
 //! * `topo`     — build a topology and print its structural summary;
 //! * `routes`   — show the Shortest-Union(K) path set and diversity
-//!                between two switches;
+//!   between two switches;
 //! * `simulate` — run a quick FCT experiment on a topology + TM + scheme;
 //! * `configs`  — emit the §4 BGP/VRF router configurations.
 //!

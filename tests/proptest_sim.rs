@@ -133,6 +133,87 @@ proptest! {
         }
     }
 
+    /// The calendar queue dequeues any batch of (t, seq) events in exactly
+    /// sorted order — same-timestamp ties broken by insertion seq, and
+    /// far-future (RTO-like) events surviving the trip through the
+    /// overflow heap — across a range of wheel geometries.
+    #[test]
+    fn calendar_queue_dequeues_in_sorted_order(
+        seed in any::<u64>(), n in 1usize..400, shift in 0u32..14, buckets in 2usize..64
+    ) {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        use spineless::sim::CalendarQueue;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let batch: Vec<u64> = (0..n)
+            .map(|_| match rng.gen_range(0..10u32) {
+                // Near-future traffic: the TxDone/Arrive regime.
+                0..=5 => rng.gen_range(0..100_000u64),
+                // Heavy same-timestamp ties.
+                6..=7 => rng.gen_range(0..16u64) * 1_000,
+                // RTO-like events far beyond any wheel horizon.
+                8 => 1_000_000 + rng.gen_range(0..50_000_000u64),
+                // Extreme outliers.
+                _ => rng.gen_range(0..(u64::MAX >> 20)),
+            })
+            .collect();
+        let mut expected: Vec<(u64, u64)> =
+            batch.iter().enumerate().map(|(i, &t)| (t, i as u64)).collect();
+        expected.sort_unstable();
+        let mut q: CalendarQueue<u32> = CalendarQueue::with_geometry(shift, buckets);
+        for (i, &t) in batch.iter().enumerate() {
+            q.push(t, i as u64, i as u32);
+        }
+        prop_assert_eq!(q.len(), n);
+        let mut out = Vec::with_capacity(n);
+        while let Some((t, s, _)) = q.pop() {
+            out.push((t, s));
+        }
+        prop_assert_eq!(out, expected);
+        prop_assert!(q.is_empty());
+    }
+
+    /// Whole-simulation scheduler equivalence: calendar queue and
+    /// reference heap produce byte-identical reports on random workloads.
+    #[test]
+    fn schedulers_agree_on_random_workloads((topo, scheme, flows) in topo_and_flows()) {
+        let run = |scheduler| {
+            let fs = ForwardingState::build(&topo.graph, scheme);
+            let cfg = SimConfig { scheduler, ..Default::default() };
+            let mut sim = Simulation::new(&topo, fs, cfg, 5);
+            for &(s, d, b, t) in &flows {
+                sim.add_flow(s, d, b, t).expect("valid flow");
+            }
+            let r = sim.run();
+            (r.fcts(), r.events, r.dropped_packets, r.delivered_bytes)
+        };
+        prop_assert_eq!(run(Scheduler::Calendar), run(Scheduler::ReferenceHeap));
+    }
+
+    /// The active-list max-min solver is bit-identical to the full-scan
+    /// reference on arbitrary instances.
+    #[test]
+    fn active_list_fluid_matches_reference(seed in any::<u64>(), nflows in 0usize..40) {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        use spineless::fluid::max_min_rates_reference;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let links = 12usize;
+        let cap: Vec<f64> = (0..links).map(|_| rng.gen_range(0.05..2.0)).collect();
+        let flows: Vec<Vec<u32>> = (0..nflows)
+            .map(|_| {
+                let len = rng.gen_range(0..5usize);
+                (0..len).map(|_| rng.gen_range(0..links as u32)).collect()
+            })
+            .collect();
+        let fast = max_min_rates(links, &cap, &flows);
+        let slow = max_min_rates_reference(links, &cap, &flows);
+        prop_assert_eq!(fast.len(), slow.len());
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
     /// Raw max-min kernel: rates are invariant under flow permutation.
     #[test]
     fn max_min_is_symmetric(seed in any::<u64>(), nflows in 2usize..12) {
