@@ -15,6 +15,11 @@ fn bench_forwarding_state(c: &mut Criterion) {
             &scheme,
             |b, &s| b.iter(|| ForwardingState::build(&topo.graph, s)),
         );
+        g.bench_with_input(
+            BenchmarkId::new("build_reference", scheme.label()),
+            &scheme,
+            |b, &s| b.iter(|| ForwardingState::build_reference(&topo.graph, s)),
+        );
     }
     g.finish();
 }

@@ -48,12 +48,94 @@ fn bench_routing_state_build(c: &mut Criterion) {
         g.bench_function(BenchmarkId::new("dring", name), |b| {
             b.iter(|| ForwardingState::build(&topos.dring.graph, scheme))
         });
+        // The retained serial heap-Dijkstra path, for the before/after
+        // comparison the CSR/bucket-queue overhaul is measured against.
+        g.bench_function(BenchmarkId::new("dring_reference", name), |b| {
+            b.iter(|| ForwardingState::build_reference(&topos.dring.graph, scheme))
+        });
     }
     g.bench_function(BenchmarkId::new("leafspine", "ecmp"), |b| {
         b.iter(|| ForwardingState::build(&topos.leafspine.graph, RoutingScheme::Ecmp))
     });
+    // Largest Fig. 6 sweep point — the scale regime the parallel
+    // bucket-queue build targets.
+    let big = spineless_topo::dring::DRing::scale_config(15).build();
+    g.bench_function(BenchmarkId::new("dring_scale15", "su2"), |b| {
+        b.iter(|| ForwardingState::build(&big.graph, RoutingScheme::ShortestUnion(2)))
+    });
+    g.bench_function(BenchmarkId::new("dring_scale15_reference", "su2"), |b| {
+        b.iter(|| ForwardingState::build_reference(&big.graph, RoutingScheme::ShortestUnion(2)))
+    });
     g.finish();
 }
 
-criterion_group!(benches, bench_sim, bench_routing_state_build);
+fn bench_incremental_failures(c: &mut Criterion) {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use spineless_routing::failures::{incremental_rebuild, FailurePlan};
+
+    let mut g = c.benchmark_group("incremental_failures");
+    g.sample_size(10);
+    let big = spineless_topo::dring::DRing::scale_config(15).build();
+    let scheme = RoutingScheme::ShortestUnion(2);
+    let baseline = ForwardingState::build(&big.graph, scheme);
+    let plan = FailurePlan::random_links(&big, 0.01, &mut SmallRng::seed_from_u64(5));
+    let degraded = plan.apply(&big).expect("plan applies");
+    g.bench_function("full_rebuild", |b| {
+        b.iter(|| ForwardingState::build(&degraded.graph, scheme))
+    });
+    g.bench_function("incremental", |b| {
+        b.iter(|| incremental_rebuild(&baseline, &big, &plan).expect("incremental"))
+    });
+    g.finish();
+}
+
+fn bench_csr_walk(c: &mut Criterion) {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    let mut g = c.benchmark_group("csr_walk");
+    let topos = EvalTopos::build(Scale::Small, 1);
+    let fs = ForwardingState::build(&topos.dring.graph, RoutingScheme::ShortestUnion(2));
+    let nested: Vec<_> =
+        (0..topos.dring.num_switches()).map(|d| fs.vrf.dag_towards(d)).collect();
+    let n = topos.dring.num_switches() as u64;
+    g.bench_function("nested", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(9);
+            let mut hops = 0usize;
+            for i in 0..4096u64 {
+                let (s, d) = (((i * 7919) % n) as u32, ((i * 104729 + 1) % n) as u32);
+                if s != d {
+                    let p = nested[d as usize].sample_path(fs.vrf.host_node(s), &mut rng);
+                    hops += p.expect("connected").len();
+                }
+            }
+            hops
+        })
+    });
+    g.bench_function("csr", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(9);
+            let mut hops = 0usize;
+            for i in 0..4096u64 {
+                let (s, d) = (((i * 7919) % n) as u32, ((i * 104729 + 1) % n) as u32);
+                if s != d {
+                    let p = fs.dags[d as usize].sample_path(fs.vrf.host_node(s), &mut rng);
+                    hops += p.expect("connected").len();
+                }
+            }
+            hops
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sim,
+    bench_routing_state_build,
+    bench_incremental_failures,
+    bench_csr_walk
+);
 criterion_main!(benches);

@@ -1,9 +1,12 @@
 //! Performance snapshot: fixed-seed small-scale Fig. 4 / Fig. 5 workloads,
 //! timing the pre-optimization code paths (reference-heap scheduler,
 //! per-cell routing-state rebuild, serial Fig. 5 grid, full-scan fluid
-//! solver) against the current defaults (calendar queue, shared routing
-//! cache, parallel grid, active-list solver). Writes `BENCH_sim.json`
-//! (wall time, events/sec, cells/sec, speedups) and prints a summary.
+//! solver, serial heap-Dijkstra routing builds, from-scratch failure
+//! recompute, nested next-hop tables) against the current defaults
+//! (calendar queue, shared routing cache, parallel grid, active-list
+//! solver, parallel bucket-queue CSR builds, incremental failure
+//! recompute). Writes `BENCH_sim.json` (wall time, events/sec, cells/sec,
+//! speedups) and prints a summary.
 //!
 //! Both paths are measured in one invocation on the same machine, so the
 //! speedup figures are self-contained. The "before" paths are the real
@@ -14,6 +17,8 @@
 //!
 //! `cargo run -p spineless-bench --release --bin bench_snapshot [-- --seed N]`
 
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 use spineless_bench::parse_args;
 use spineless_core::fct::{
     generate_workload, paper_combos, run_cell, run_cell_with, FctCell, FctConfig, TmKind,
@@ -21,8 +26,10 @@ use spineless_core::fct::{
 use spineless_core::throughput::{cs_axis_values, run_fig5_panel, run_fig5_panel_serial};
 use spineless_core::{EvalTopos, RoutingCache, Scale};
 use spineless_fluid::{max_min_rates, max_min_rates_reference, LinkSpace};
+use spineless_routing::failures::{incremental_rebuild, FailurePlan};
 use spineless_routing::{Forwarding, ForwardingState, RoutingScheme};
 use spineless_sim::{Scheduler, SimConfig, Simulation};
+use spineless_topo::dring::DRing;
 use std::time::Instant;
 
 /// The Fig. 4 grid exactly as `run_fig4` runs it, minus the two
@@ -208,11 +215,80 @@ fn main() {
         space.num_links()
     );
 
+    // --- Routing-state build on the largest Fig. 6 sweep topology:
+    // serial heap Dijkstra into nested DAGs vs parallel bucket queue into
+    // CSR tables. ---
+    let big = DRing::scale_config(15).build();
+    let scheme = RoutingScheme::ShortestUnion(2);
+    let t0 = Instant::now();
+    let build_ref = ForwardingState::build_reference(&big.graph, scheme);
+    let build_ref_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let build_fast = ForwardingState::build(&big.graph, scheme);
+    let build_fast_s = t0.elapsed().as_secs_f64();
+    assert_eq!(build_fast, build_ref, "routing-state builds diverged");
+    let build_speedup = build_ref_s / build_fast_s;
+    let big_switches = big.num_switches();
+    eprintln!(
+        "routing build: {big_switches} switches su2 — reference {build_ref_s:.3}s vs parallel bucket/CSR {build_fast_s:.3}s ({build_speedup:.2}x)"
+    );
+
+    // --- Failure recompute on the same topology: full rebuild vs
+    // incremental (only destinations whose DAG lost an arc). ---
+    let plan =
+        FailurePlan::random_links(&big, 0.01, &mut SmallRng::seed_from_u64(seed ^ 0xFA11));
+    let t0 = Instant::now();
+    let degraded = plan.apply(&big).expect("plan applies");
+    let full = ForwardingState::build(&degraded.graph, scheme);
+    let fail_full_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let (_, inc) = incremental_rebuild(&build_fast, &big, &plan).expect("incremental");
+    let fail_inc_s = t0.elapsed().as_secs_f64();
+    assert_eq!(inc, full, "incremental failure recompute diverged");
+    let fail_speedup = fail_full_s / fail_inc_s;
+    let fail_links = plan.failed_links.len();
+    eprintln!(
+        "incremental failures: {fail_links} cut links — full {fail_full_s:.3}s vs incremental {fail_inc_s:.3}s ({fail_speedup:.2}x)"
+    );
+
+    // --- Next-hop walks: nested Vec<Vec<_>> DAGs vs CSR arenas, same
+    // seeds so both draw the identical routes. ---
+    let nested: Vec<_> =
+        (0..big_switches).map(|d| build_fast.vrf.dag_towards(d)).collect();
+    let walks = 100_000u32;
+    let walk = |use_csr: bool| {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x3A1D);
+        let mut hops = 0usize;
+        let t0 = Instant::now();
+        for i in 0..walks as u64 {
+            let s = ((i * 7919) % big_switches as u64) as u32;
+            let d = ((i * 104729 + 1) % big_switches as u64) as u32;
+            if s == d {
+                continue;
+            }
+            let start = build_fast.vrf.host_node(s);
+            let p = if use_csr {
+                build_fast.dags[d as usize].sample_path(start, &mut rng)
+            } else {
+                nested[d as usize].sample_path(start, &mut rng)
+            };
+            hops += p.expect("connected").len();
+        }
+        (t0.elapsed().as_secs_f64(), hops)
+    };
+    let (walk_nested_s, hops_nested) = walk(false);
+    let (walk_csr_s, hops_csr) = walk(true);
+    assert_eq!(hops_nested, hops_csr, "walk layouts diverged");
+    let walk_speedup = walk_nested_s / walk_csr_s;
+    eprintln!(
+        "csr walk: {walks} routes — nested {walk_nested_s:.3}s vs CSR {walk_csr_s:.3}s ({walk_speedup:.2}x)"
+    );
+
     // Hand-rolled JSON: the workspace deliberately carries no serde_json
     // dependency, and the document is flat enough that format! suffices.
     let json = format!(
         r#"{{
-  "schema": "bench_snapshot/v1",
+  "schema": "bench_snapshot/v2",
   "seed": {seed},
   "scale": "small",
   "host_threads": {threads},
@@ -244,6 +320,30 @@ fn main() {
     "active_list_wall_s": {fluid_fast_s:.5},
     "full_scan_wall_s": {fluid_slow_s:.5},
     "speedup": {fluid_speedup:.3},
+    "results_identical": true
+  }},
+  "routing_build": {{
+    "topology": "dring scale_config(15), largest fig6 sweep point",
+    "switches": {big_switches},
+    "scheme": "shortest-union(2)",
+    "reference": {{ "engine": "serial heap dijkstra, nested tables", "wall_s": {build_ref_s:.4} }},
+    "fast": {{ "engine": "parallel bucket queue, csr tables", "wall_s": {build_fast_s:.4} }},
+    "speedup": {build_speedup:.3},
+    "results_identical": true
+  }},
+  "incremental_failures": {{
+    "topology": "dring scale_config(15)",
+    "failed_links": {fail_links},
+    "full_rebuild_wall_s": {fail_full_s:.4},
+    "incremental_wall_s": {fail_inc_s:.4},
+    "speedup": {fail_speedup:.3},
+    "results_identical": true
+  }},
+  "csr_walk": {{
+    "routes": {walks},
+    "nested_wall_s": {walk_nested_s:.4},
+    "csr_wall_s": {walk_csr_s:.4},
+    "speedup": {walk_speedup:.3},
     "results_identical": true
   }}
 }}

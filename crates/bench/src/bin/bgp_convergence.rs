@@ -57,7 +57,7 @@ fn fibs_match(fs: &ForwardingState, out: &bgp::BgpOutcome) -> bool {
                 continue;
             }
             let mut a = pr.fib[v as usize].clone();
-            let mut b = dag.next_hops[v as usize].clone();
+            let mut b = dag.next_hops(v).to_vec();
             a.sort_unstable();
             b.sort_unstable();
             if a != b {

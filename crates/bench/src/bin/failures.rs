@@ -8,27 +8,36 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use spineless_bench::parse_args;
+use spineless_core::cache::RoutingCache;
+use spineless_core::fct::TopoKind;
 use spineless_core::topos::EvalTopos;
-use spineless_routing::failures::{assess, FailurePlan};
+use spineless_routing::failures::{assess_with, FailurePlan};
 use spineless_routing::RoutingScheme;
 
 fn main() {
     let (scale, seed) = parse_args();
     let topos = EvalTopos::build(scale, seed);
+    // One baseline state per (topology, scheme); every cut fraction reuses
+    // it through `assess_with`, which also rebuilds the degraded state
+    // incrementally instead of from scratch.
+    let combos = [
+        (TopoKind::LeafSpine, RoutingScheme::Ecmp),
+        (TopoKind::DRing, RoutingScheme::ShortestUnion(2)),
+        (TopoKind::Rrg, RoutingScheme::ShortestUnion(2)),
+    ];
+    let cache = RoutingCache::build(&topos, &combos);
     println!("== link-failure sweep (random cuts, Shortest-Union(2) / ECMP) ==");
     println!(
         "{:<26} {:>6} {:>8} {:>12} {:>12} {:>10} {:>10} {:>9}",
         "topology", "cut %", "discon.", "cost before", "cost after", "div before", "div after", "BGP rnds"
     );
-    for (topo, scheme) in [
-        (&topos.leafspine, RoutingScheme::Ecmp),
-        (&topos.dring, RoutingScheme::ShortestUnion(2)),
-        (&topos.rrg, RoutingScheme::ShortestUnion(2)),
-    ] {
+    for (tk, scheme) in combos {
+        let topo = tk.of(&topos);
+        let baseline = cache.get(tk, scheme);
         for fraction in [0.02, 0.05, 0.10, 0.20] {
             let mut rng = SmallRng::seed_from_u64(seed ^ (fraction * 1000.0) as u64);
             let plan = FailurePlan::random_links(topo, fraction, &mut rng);
-            let impact = assess(topo, scheme, &plan, 60).expect("assessment");
+            let impact = assess_with(topo, &baseline, &plan, 60).expect("assessment");
             println!(
                 "{:<26} {:>6.0} {:>8} {:>12.3} {:>12.3} {:>10} {:>10} {:>9}",
                 topo.name,

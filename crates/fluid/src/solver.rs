@@ -204,10 +204,11 @@ impl FluidSolution {
 /// server pairs on a topology under a routing scheme.
 ///
 /// Each demand is routed once by per-flow ECMP sampling
-/// ([`Forwarding::sample_route_generic`], seeded — identical seeds give
-/// identical routes), expanded to its directed links *including the source
-/// uplink and destination downlink*, then filled. Same-rack demands use
-/// only their NIC links; same-server demands get infinite rate.
+/// ([`Forwarding::sample_route_into`] — one buffer reused across all
+/// demands, same RNG stream as `sample_route_generic`, so identical seeds
+/// give identical routes), expanded to its directed links *including the
+/// source uplink and destination downlink*, then filled. Same-rack demands
+/// use only their NIC links; same-server demands get infinite rate.
 ///
 /// # Panics
 ///
@@ -223,6 +224,7 @@ pub fn solve<F: Forwarding>(
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut flows: Vec<Vec<u32>> = Vec::with_capacity(demands.len());
     let mut hops = Vec::with_capacity(demands.len());
+    let mut route = Vec::new();
     for &(s, d) in demands {
         assert!(s < topo.num_servers() && d < topo.num_servers(), "bad server");
         if s == d {
@@ -234,9 +236,10 @@ pub fn solve<F: Forwarding>(
         let dsw = topo.switch_of(d);
         let mut links = vec![space.uplink(s)];
         if ssw != dsw {
-            let route = fs
-                .sample_route_generic(ssw, dsw, &mut rng)
-                .expect("unreachable demand pair");
+            assert!(
+                fs.sample_route_into(ssw, dsw, &mut rng, &mut route),
+                "unreachable demand pair"
+            );
             let mut cur = ssw;
             hops.push(route.len() as u32);
             for &(next, edge) in &route {

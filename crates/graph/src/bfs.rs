@@ -14,6 +14,25 @@ use std::collections::VecDeque;
 pub fn distances(g: &Graph, src: NodeId) -> Vec<u32> {
     let mut dist = vec![UNREACHABLE; g.num_nodes() as usize];
     let mut q = VecDeque::new();
+    bfs_into(g, src, &mut dist, &mut q);
+    dist
+}
+
+/// BFS from `src` into caller-provided storage: `dist` (length
+/// `num_nodes`, overwritten) and a queue, both reused across calls so a
+/// many-source sweep performs no per-source allocation.
+///
+/// # Panics
+///
+/// Panics if `dist.len() != g.num_nodes()`.
+pub fn distances_into(g: &Graph, src: NodeId, dist: &mut [u32], queue: &mut VecDeque<NodeId>) {
+    bfs_into(g, src, dist, queue);
+}
+
+fn bfs_into(g: &Graph, src: NodeId, dist: &mut [u32], q: &mut VecDeque<NodeId>) {
+    assert_eq!(dist.len(), g.num_nodes() as usize, "dist buffer mis-sized");
+    dist.fill(UNREACHABLE);
+    q.clear();
     dist[src as usize] = 0;
     q.push_back(src);
     while let Some(u) = q.pop_front() {
@@ -25,15 +44,61 @@ pub fn distances(g: &Graph, src: NodeId) -> Vec<u32> {
             }
         }
     }
-    dist
 }
 
-/// All-pairs hop distances, row `v` = distances from node `v`.
+/// All-pairs hop distances in one flat row-major allocation; row `v` =
+/// distances from node `v`. Indexing by `usize` yields a row, so
+/// `m[s as usize][t as usize]` reads the `(s, t)` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistanceMatrix {
+    n: u32,
+    dist: Vec<u32>,
+}
+
+impl DistanceMatrix {
+    /// Number of nodes (rows).
+    #[inline]
+    pub fn num_nodes(&self) -> u32 {
+        self.n
+    }
+
+    /// Distances from node `v`, as a row slice.
+    #[inline]
+    pub fn row(&self, v: NodeId) -> &[u32] {
+        let n = self.n as usize;
+        &self.dist[v as usize * n..(v as usize + 1) * n]
+    }
+
+    /// The `(u, v)` hop distance.
+    #[inline]
+    pub fn at(&self, u: NodeId, v: NodeId) -> u32 {
+        self.dist[u as usize * self.n as usize + v as usize]
+    }
+}
+
+impl std::ops::Index<usize> for DistanceMatrix {
+    type Output = [u32];
+
+    #[inline]
+    fn index(&self, v: usize) -> &[u32] {
+        self.row(v as NodeId)
+    }
+}
+
+/// All-pairs hop distances, row `v` = distances from node `v`, stored
+/// row-major in a single flat allocation (see [`DistanceMatrix`]).
 ///
-/// Runs one BFS per node: `O(V · (V + E))`, fine for the ≤ few hundred
-/// switches of a moderate-scale DC.
-pub fn all_pairs_distances(g: &Graph) -> Vec<Vec<u32>> {
-    (0..g.num_nodes()).map(|v| distances(g, v)).collect()
+/// Runs one BFS per node straight into its row: `O(V · (V + E))` time and
+/// one `V²` allocation, fine for the ≤ few hundred switches of a
+/// moderate-scale DC.
+pub fn all_pairs_distances(g: &Graph) -> DistanceMatrix {
+    let n = g.num_nodes();
+    let mut dist = vec![UNREACHABLE; (n as usize) * (n as usize)];
+    let mut q = VecDeque::new();
+    for (v, row) in dist.chunks_exact_mut(n.max(1) as usize).enumerate() {
+        bfs_into(g, v as NodeId, row, &mut q);
+    }
+    DistanceMatrix { n, dist }
 }
 
 /// Diameter (max finite pairwise distance). `None` if disconnected or empty.
@@ -42,9 +107,11 @@ pub fn diameter(g: &Graph) -> Option<u32> {
         return None;
     }
     let mut best = 0;
+    let mut dist = vec![UNREACHABLE; g.num_nodes() as usize];
+    let mut q = VecDeque::new();
     for v in 0..g.num_nodes() {
-        let d = distances(g, v);
-        for &x in &d {
+        bfs_into(g, v, &mut dist, &mut q);
+        for &x in &dist {
             if x == UNREACHABLE {
                 return None;
             }
@@ -62,8 +129,11 @@ pub fn mean_distance(g: &Graph) -> Option<f64> {
         return None;
     }
     let mut sum = 0u64;
+    let mut dist = vec![UNREACHABLE; g.num_nodes() as usize];
+    let mut q = VecDeque::new();
     for v in 0..g.num_nodes() {
-        for &x in &distances(g, v) {
+        bfs_into(g, v, &mut dist, &mut q);
+        for &x in &dist {
             if x == UNREACHABLE {
                 return None;
             }
@@ -211,6 +281,47 @@ mod tests {
         assert_eq!(diameter(&disc), None);
         b.add_edge(0, 1);
         assert_eq!(diameter(&b.build()), Some(1));
+    }
+
+    #[test]
+    fn all_pairs_matrix_matches_per_source_bfs() {
+        let g = cycle(6);
+        let m = all_pairs_distances(&g);
+        assert_eq!(m.num_nodes(), 6);
+        for v in 0..6u32 {
+            let d = distances(&g, v);
+            assert_eq!(m.row(v), &d[..]);
+            assert_eq!(&m[v as usize], &d[..]);
+            for t in 0..6u32 {
+                assert_eq!(m.at(v, t), d[t as usize]);
+            }
+        }
+        // Disconnected entries are marked, not dropped.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        let m = all_pairs_distances(&b.build());
+        assert_eq!(m.at(0, 2), UNREACHABLE);
+        assert_eq!(m.at(0, 1), 1);
+    }
+
+    #[test]
+    fn distances_into_reuses_buffers() {
+        let g = cycle(6);
+        let mut buf = vec![0u32; 6];
+        let mut q = VecDeque::new();
+        distances_into(&g, 0, &mut buf, &mut q);
+        assert_eq!(buf, vec![0, 1, 2, 3, 2, 1]);
+        // Stale contents from a previous source must be overwritten.
+        distances_into(&g, 3, &mut buf, &mut q);
+        assert_eq!(buf, distances(&g, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "mis-sized")]
+    fn distances_into_rejects_wrong_buffer() {
+        let g = cycle(4);
+        let mut buf = vec![0u32; 3];
+        distances_into(&g, 0, &mut buf, &mut VecDeque::new());
     }
 
     #[test]

@@ -8,6 +8,18 @@
 //! set. This module provides the graph type, Dijkstra, and the weighted
 //! shortest-path DAG whose per-node next-hop sets BGP multipath (ECMP over
 //! equal AS-path lengths) would install.
+//!
+//! Two shortest-path engines coexist. [`DiGraph::dijkstra_to`] is the
+//! binary-heap reference. [`DiGraph::bucket_dijkstra_to`] is a Dial
+//! bucket-queue specialised to the small integer arc costs the VRF
+//! construction produces (every cost is in `1..=K`, so a `(K+1)`-slot
+//! ring of buckets replaces the heap); it returns the same distance
+//! labels — shortest-path distances are unique, so the engines agree
+//! exactly, which the tests and proptests pin. Likewise the per-node
+//! next-hop sets come in two layouts: the nested [`WeightedSpDag`]
+//! (one `Vec` per node, the readable reference) and the flat
+//! [`CsrSpDag`] (a single arena per DAG, what the forwarding hot paths
+//! walk).
 
 use crate::{NodeId, UNREACHABLE};
 use rand::Rng;
@@ -170,6 +182,99 @@ impl DiGraph {
         }
         dist
     }
+
+    /// Largest arc cost in the graph (1 for an arcless graph).
+    pub fn max_arc_cost(&self) -> u32 {
+        self.arcs.iter().map(|&(_, _, w)| w).max().unwrap_or(1)
+    }
+
+    /// Bucket-queue (Dial) distances *to* `dst`, identical to
+    /// [`DiGraph::dijkstra_to`]. `scratch` carries the bucket ring across
+    /// calls so an all-destinations sweep allocates it once.
+    pub fn bucket_dijkstra_to(&self, dst: NodeId, scratch: &mut DialScratch) -> Vec<u64> {
+        self.bucket_dijkstra(dst, false, scratch)
+    }
+
+    /// Bucket-queue (Dial) distances *from* `src` along arc directions.
+    pub fn bucket_dijkstra_from(&self, src: NodeId, scratch: &mut DialScratch) -> Vec<u64> {
+        self.bucket_dijkstra(src, true, scratch)
+    }
+
+    /// Dial's algorithm: tentative labels live in a ring of `C + 1`
+    /// buckets (`C` = max arc cost), scanned in increasing label order.
+    /// Any two labels simultaneously pending differ by at most `C`, so
+    /// ring slots never alias distinct live labels; superseded labels are
+    /// skipped by the `dist` check on pop. The distance array it produces
+    /// is the unique shortest-path labelling, so it matches the heap
+    /// engine exactly (not just approximately).
+    fn bucket_dijkstra(&self, root: NodeId, forward: bool, scratch: &mut DialScratch) -> Vec<u64> {
+        let c = scratch.max_cost;
+        if c > DialScratch::MAX_BUCKET_COST {
+            // Weights too coarse for a dense ring: the heap is the right
+            // engine, and the results are identical by definition.
+            return self.dijkstra(root, forward);
+        }
+        let nb = c as usize + 1;
+        scratch.buckets.resize_with(nb, Vec::new);
+        for b in &mut scratch.buckets {
+            b.clear();
+        }
+        let mut dist = vec![UNREACHABLE as u64; self.num_nodes as usize];
+        dist[root as usize] = 0;
+        scratch.buckets[0].push(root);
+        let mut pending = 1usize;
+        let mut d = 0u64;
+        while pending > 0 {
+            let bi = (d % nb as u64) as usize;
+            // Arc costs are >= 1, so relaxations from label `d` never land
+            // back in bucket `bi`; draining it to empty is safe.
+            while let Some(u) = scratch.buckets[bi].pop() {
+                pending -= 1;
+                if dist[u as usize] != d {
+                    continue; // superseded by a smaller label
+                }
+                let arcs = if forward { self.out_arcs(u) } else { self.in_arcs(u) };
+                for &(v, a) in arcs {
+                    let w = self.arcs[a as usize].2 as u64;
+                    debug_assert!(w <= c as u64, "scratch sized for a cheaper graph");
+                    let nd = d + w;
+                    if nd < dist[v as usize] {
+                        dist[v as usize] = nd;
+                        scratch.buckets[(nd % nb as u64) as usize].push(v);
+                        pending += 1;
+                    }
+                }
+            }
+            d += 1;
+        }
+        dist
+    }
+}
+
+/// Reusable state for [`DiGraph::bucket_dijkstra_to`]: the bucket ring,
+/// sized once per graph from its maximum arc cost. One scratch serves any
+/// number of sequential runs on graphs whose costs stay within that bound
+/// (per-worker scratches in the parallel forwarding-state build).
+#[derive(Debug, Clone)]
+pub struct DialScratch {
+    max_cost: u32,
+    buckets: Vec<Vec<NodeId>>,
+}
+
+impl DialScratch {
+    /// Costs above this fall back to the binary heap — a dense bucket ring
+    /// would waste more on empty-slot scans than the heap's `log n`.
+    pub const MAX_BUCKET_COST: u32 = 256;
+
+    /// Scratch sized for `g`'s cost range.
+    pub fn for_graph(g: &DiGraph) -> DialScratch {
+        DialScratch { max_cost: g.max_arc_cost(), buckets: Vec::new() }
+    }
+
+    /// The arc-cost bound this scratch was sized for.
+    pub fn max_cost(&self) -> u32 {
+        self.max_cost
+    }
 }
 
 /// Weighted shortest-path DAG towards a destination in a [`DiGraph`]:
@@ -254,6 +359,121 @@ impl WeightedSpDag {
                 return;
             }
         }
+    }
+}
+
+/// Flat (CSR) layout of a weighted shortest-path DAG: all next-hop sets
+/// of one destination share a single arena instead of one `Vec` per node.
+///
+/// This is the layout the forwarding hot paths walk — route sampling and
+/// the expected-hops dynamic program touch one contiguous allocation per
+/// DAG instead of chasing `Vec<Vec<_>>` pointers. Construction matches
+/// [`WeightedSpDag::towards`] entry for entry (same node order, same arc
+/// order within a node), so [`CsrSpDag::from_nested`] of the nested DAG
+/// equals [`CsrSpDag::towards`] exactly — the equivalence the routing
+/// tests pin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrSpDag {
+    /// Destination node.
+    pub dst: NodeId,
+    /// `dist[u]` = min cost from `u` to `dst` (`UNREACHABLE as u64` if none).
+    pub dist: Vec<u64>,
+    /// `off[u]..off[u + 1]` indexes `hops` for node `u`.
+    off: Vec<u32>,
+    /// Arena of `(head, arc)` next-hop pairs, grouped by tail node.
+    hops: Vec<(NodeId, ArcId)>,
+}
+
+impl CsrSpDag {
+    /// Builds the minimum-cost DAG towards `dst` with the bucket-queue
+    /// engine, directly in CSR form.
+    pub fn towards(g: &DiGraph, dst: NodeId) -> CsrSpDag {
+        let mut scratch = DialScratch::for_graph(g);
+        CsrSpDag::towards_with(g, dst, &mut scratch)
+    }
+
+    /// [`CsrSpDag::towards`] with a caller-held [`DialScratch`], so a
+    /// per-destination sweep reuses one bucket ring.
+    pub fn towards_with(g: &DiGraph, dst: NodeId, scratch: &mut DialScratch) -> CsrSpDag {
+        let dist = g.bucket_dijkstra_to(dst, scratch);
+        let n = g.num_nodes();
+        let mut off = Vec::with_capacity(n as usize + 1);
+        off.push(0u32);
+        let mut hops = Vec::new();
+        for u in 0..n {
+            let du = dist[u as usize];
+            if du != UNREACHABLE as u64 && du != 0 {
+                for &(v, a) in g.out_arcs(u) {
+                    let w = g.arc(a).2 as u64;
+                    if dist[v as usize] != UNREACHABLE as u64 && dist[v as usize] + w == du {
+                        hops.push((v, a));
+                    }
+                }
+            }
+            off.push(hops.len() as u32);
+        }
+        CsrSpDag { dst, dist, off, hops }
+    }
+
+    /// Flattens a nested DAG. Entry order is preserved, so this equals
+    /// [`CsrSpDag::towards`] on the same graph and destination.
+    pub fn from_nested(dag: &WeightedSpDag) -> CsrSpDag {
+        let mut off = Vec::with_capacity(dag.next_hops.len() + 1);
+        off.push(0u32);
+        let mut hops = Vec::new();
+        for nh in &dag.next_hops {
+            hops.extend_from_slice(nh);
+            off.push(hops.len() as u32);
+        }
+        CsrSpDag { dst: dag.dst, dist: dag.dist.clone(), off, hops }
+    }
+
+    /// Number of nodes the DAG spans.
+    #[inline]
+    pub fn num_nodes(&self) -> u32 {
+        self.dist.len() as u32
+    }
+
+    /// Next hops of `u`: `(head, arc)` pairs on minimum-cost paths.
+    #[inline]
+    pub fn next_hops(&self, u: NodeId) -> &[(NodeId, ArcId)] {
+        &self.hops[self.off[u as usize] as usize..self.off[u as usize + 1] as usize]
+    }
+
+    /// Total next-hop entries across all nodes.
+    #[inline]
+    pub fn num_entries(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// The same DAG with every arc id passed through `map` — how the
+    /// incremental failure recompute translates an unaffected DAG into a
+    /// degraded graph's (densely renumbered) arc id space.
+    pub fn remap_arcs(&self, map: impl Fn(ArcId) -> ArcId) -> CsrSpDag {
+        CsrSpDag {
+            dst: self.dst,
+            dist: self.dist.clone(),
+            off: self.off.clone(),
+            hops: self.hops.iter().map(|&(v, a)| (v, map(a))).collect(),
+        }
+    }
+
+    /// Samples a minimum-cost path from `src` by a uniform random walk
+    /// over next-hop arcs (per-hop ECMP). `None` if unreachable.
+    pub fn sample_path<R: Rng>(&self, src: NodeId, rng: &mut R) -> Option<Vec<NodeId>> {
+        if self.dist[src as usize] == UNREACHABLE as u64 {
+            return None;
+        }
+        let mut path = vec![src];
+        let mut u = src;
+        while u != self.dst {
+            let nh = self.next_hops(u);
+            debug_assert!(!nh.is_empty());
+            let (v, _) = nh[rng.gen_range(0..nh.len())];
+            path.push(v);
+            u = v;
+        }
+        Some(path)
     }
 }
 
@@ -359,6 +579,107 @@ mod tests {
     fn rejects_zero_weight() {
         let mut b = DiGraphBuilder::new(2);
         b.add_arc(0, 1, 0);
+    }
+
+    /// Random digraph: spanning arborescence plus extra arcs, costs in
+    /// `1..=max_w`.
+    fn random_digraph(seed: u64, n: u32, max_w: u32) -> DiGraph {
+        use rand::Rng;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut b = DiGraphBuilder::new(n);
+        for i in 1..n {
+            let p = rng.gen_range(0..i);
+            b.add_arc(p, i, rng.gen_range(1..=max_w));
+            b.add_arc(i, p, rng.gen_range(1..=max_w));
+        }
+        for _ in 0..(2 * n) {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v {
+                b.add_arc(u, v, rng.gen_range(1..=max_w));
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn bucket_queue_matches_heap_dijkstra() {
+        for seed in 0..8u64 {
+            let g = random_digraph(seed, 24, 4);
+            let mut scratch = DialScratch::for_graph(&g);
+            for root in [0u32, 5, 23] {
+                assert_eq!(g.bucket_dijkstra_to(root, &mut scratch), g.dijkstra_to(root));
+                assert_eq!(
+                    g.bucket_dijkstra_from(root, &mut scratch),
+                    g.dijkstra_from(root)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_queue_falls_back_on_coarse_weights() {
+        let mut b = DiGraphBuilder::new(3);
+        b.add_arc(0, 1, 1000);
+        b.add_arc(1, 2, 7);
+        let g = b.build();
+        assert_eq!(g.max_arc_cost(), 1000);
+        let mut scratch = DialScratch::for_graph(&g);
+        assert!(scratch.max_cost() > DialScratch::MAX_BUCKET_COST);
+        assert_eq!(g.bucket_dijkstra_from(0, &mut scratch), g.dijkstra_from(0));
+    }
+
+    #[test]
+    fn csr_dag_equals_nested_dag() {
+        for seed in 0..8u64 {
+            let g = random_digraph(seed, 20, 3);
+            let mut scratch = DialScratch::for_graph(&g);
+            for dst in 0..g.num_nodes() {
+                let nested = WeightedSpDag::towards(&g, dst);
+                let direct = CsrSpDag::towards_with(&g, dst, &mut scratch);
+                assert_eq!(direct, CsrSpDag::from_nested(&nested), "seed {seed} dst {dst}");
+                for u in 0..g.num_nodes() {
+                    assert_eq!(direct.next_hops(u), &nested.next_hops[u as usize][..]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn csr_sampling_matches_nested_sampling() {
+        let g = diamond();
+        let nested = WeightedSpDag::towards(&g, 3);
+        let csr = CsrSpDag::towards(&g, 3);
+        // Same seed, same next-hop orders => identical walks.
+        let mut ra = SmallRng::seed_from_u64(9);
+        let mut rb = SmallRng::seed_from_u64(9);
+        for _ in 0..32 {
+            assert_eq!(nested.sample_path(0, &mut ra), csr.sample_path(0, &mut rb));
+        }
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut b = DiGraphBuilder::new(2);
+        b.add_arc(0, 1, 1);
+        let g2 = b.build();
+        assert!(CsrSpDag::towards(&g2, 0).sample_path(1, &mut rng).is_none());
+    }
+
+    #[test]
+    fn csr_remap_translates_arc_ids() {
+        let g = diamond();
+        let csr = CsrSpDag::towards(&g, 3);
+        let shifted = csr.remap_arcs(|a| a + 10);
+        assert_eq!(shifted.dist, csr.dist);
+        for u in 0..g.num_nodes() {
+            let orig = csr.next_hops(u);
+            let moved = shifted.next_hops(u);
+            assert_eq!(orig.len(), moved.len());
+            for (&(v, a), &(mv, ma)) in orig.iter().zip(moved) {
+                assert_eq!(v, mv);
+                assert_eq!(a + 10, ma);
+            }
+        }
+        assert_eq!(csr.num_entries(), shifted.num_entries());
+        assert_eq!(csr.num_nodes(), 4);
     }
 
     #[test]

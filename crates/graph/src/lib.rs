@@ -13,9 +13,12 @@
 //!   Shortest-Union(K) routing scheme of the paper (§4).
 //! * [`flow`] — unit-capacity max-flow (Edmonds–Karp) for edge-disjoint path
 //!   counts, used to check the paper's path-diversity claims.
-//! * [`digraph`] — a directed, integer-weighted graph with Dijkstra and
-//!   weighted shortest-path DAG extraction; this is the representation of the
-//!   *VRF graph* of §4 of the paper.
+//! * [`digraph`] — a directed, integer-weighted graph with two
+//!   shortest-path engines (binary-heap Dijkstra as the reference, a Dial
+//!   bucket queue for the small integer costs VRF graphs carry) and
+//!   weighted shortest-path DAG extraction in both nested and flat CSR
+//!   layouts; this is the representation of the *VRF graph* of §4 of the
+//!   paper.
 //! * [`spectral`] — power-iteration spectral gap estimation, quantifying how
 //!   expander-like a topology is.
 //! * [`cuts`] — randomized + local-search bisection-bandwidth estimation,
@@ -53,7 +56,8 @@ pub mod graph;
 pub mod paths;
 pub mod spectral;
 
-pub use digraph::{DiGraph, DiGraphBuilder};
+pub use bfs::DistanceMatrix;
+pub use digraph::{CsrSpDag, DiGraph, DiGraphBuilder, DialScratch};
 pub use graph::{Graph, GraphBuilder, GraphError, NodeId};
 
 /// Identifier of an undirected edge inside a [`Graph`].

@@ -219,7 +219,7 @@ mod tests {
                     "len mismatch dst={dst} v={v}"
                 );
                 let mut a: Vec<(NodeId, ArcId)> = pr.fib[v as usize].clone();
-                let mut b: Vec<(NodeId, ArcId)> = dag.next_hops[v as usize].clone();
+                let mut b: Vec<(NodeId, ArcId)> = dag.next_hops(v).to_vec();
                 a.sort_unstable();
                 b.sort_unstable();
                 assert_eq!(a, b, "fib mismatch dst={dst} v={v}");
@@ -280,7 +280,7 @@ mod tests {
             for v in 0..fs.vrf.graph.num_nodes() {
                 for hop in &pr.fib[v as usize] {
                     assert!(
-                        dag.next_hops[v as usize].contains(hop),
+                        dag.next_hops(v).contains(hop),
                         "BGP installed a hop Dijkstra lacks at v={v} dst={dst}"
                     );
                 }

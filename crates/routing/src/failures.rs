@@ -7,21 +7,26 @@
 //! both within the model:
 //!
 //! * [`FailurePlan`] removes links and/or switches from a topology,
-//!   yielding a degraded [`Topology`] whose forwarding state and BGP
-//!   control plane are rebuilt from scratch;
-//! * [`assess`] quantifies the impact: disconnected rack pairs, route-cost
-//!   stretch, Shortest-Union path-diversity loss, and the number of
-//!   synchronous BGP rounds to reconverge — the §7 question, answered in
-//!   rounds of the same control-plane model that §4's realization runs on.
+//!   yielding a degraded [`Topology`];
+//! * [`incremental_rebuild`] recomputes the degraded forwarding state from
+//!   the intact baseline, rebuilding only destinations whose DAGs contain
+//!   a failed arc — bit-identical to a full rebuild (pinned in debug
+//!   builds, tests and `bench_snapshot`);
+//! * [`assess`] / [`assess_with`] quantify the impact: disconnected rack
+//!   pairs, route-cost stretch, Shortest-Union path-diversity loss, and
+//!   the number of synchronous BGP rounds to reconverge — the §7 question,
+//!   answered in rounds of the same control-plane model that §4's
+//!   realization runs on.
 
 use crate::bgp;
 use crate::diversity::su_disjoint_exact;
-use crate::fib::{ForwardingState, RoutingScheme};
+use crate::fib::{build_dags, ForwardingState, RoutingScheme};
 use crate::vrf::VrfGraph;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use spineless_graph::{EdgeId, NodeId, UNREACHABLE};
+use spineless_graph::digraph::ArcId;
+use spineless_graph::{CsrSpDag, EdgeId, NodeId, UNREACHABLE};
 use spineless_topo::{TopoError, Topology};
 
 /// A set of failures to inject.
@@ -81,7 +86,7 @@ impl FailurePlan {
 }
 
 /// Impact of a failure plan on one (topology, routing scheme) pair.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FailureImpact {
     /// Ordered rack pairs that lost all connectivity.
     pub disconnected_pairs: u64,
@@ -102,6 +107,101 @@ pub struct FailureImpact {
     pub bgp_rounds_after: u32,
 }
 
+/// Rebuilds forwarding state for `plan.apply(topo)` incrementally from the
+/// intact network's `baseline` state, returning the degraded topology and
+/// its state. Bit-identical to `ForwardingState::build(&degraded.graph)`.
+///
+/// *Why it is exact:* a destination's min-cost paths consist exactly of its
+/// DAG's arcs, so if no failed VRF arc is in destination `d`'s baseline
+/// DAG, every min-cost path towards `d` survives — distances, reachability
+/// and the DAG arc set are all unchanged. Only `d`'s whose DAG contains a
+/// failed arc (tested in O(failed arcs) against the baseline distance
+/// labels) are rebuilt; the rest translate by arc-id renumbering, valid
+/// because [`FailurePlan::apply`] preserves surviving-edge order and
+/// [`VrfGraph::build`] emits a fixed arc block per edge, making the
+/// degraded arc ids a dense order-preserving renumbering of the survivors.
+pub fn incremental_rebuild(
+    baseline: &ForwardingState,
+    topo: &Topology,
+    plan: &FailurePlan,
+) -> Result<(Topology, ForwardingState), TopoError> {
+    assert_eq!(
+        baseline.vrf.routers,
+        topo.graph.num_nodes(),
+        "baseline state belongs to a different topology"
+    );
+    let degraded = plan.apply(topo)?;
+    let scheme = baseline.scheme;
+    let vrf = VrfGraph::build(&degraded.graph, scheme.k());
+
+    // Which original cables died: the cut links plus every link of a
+    // powered-off switch.
+    let mut switch_dead = vec![false; topo.graph.num_nodes() as usize];
+    for &sw in &plan.failed_switches {
+        switch_dead[sw as usize] = true;
+    }
+    let mut edge_dead = vec![false; topo.graph.num_edges() as usize];
+    for &e in &plan.failed_links {
+        edge_dead[e as usize] = true;
+    }
+    for e in 0..topo.graph.num_edges() {
+        let (a, b) = topo.graph.edge(e);
+        if switch_dead[a as usize] || switch_dead[b as usize] {
+            edge_dead[e as usize] = true;
+        }
+    }
+
+    // Split baseline VRF arcs into failed (collected with endpoints and
+    // cost for the affected test) and surviving (assigned their dense new
+    // id by a running counter).
+    const DEAD: ArcId = ArcId::MAX;
+    let old_arcs = baseline.vrf.graph.num_arcs();
+    let mut arc_map = vec![DEAD; old_arcs as usize];
+    let mut failed_arcs: Vec<(NodeId, NodeId, u64)> = Vec::new();
+    let mut next_arc: ArcId = 0;
+    for a in 0..old_arcs {
+        if edge_dead[baseline.vrf.edge_of_arc(a) as usize] {
+            let (x, y, w) = baseline.vrf.graph.arc(a);
+            failed_arcs.push((x, y, w as u64));
+        } else {
+            arc_map[a as usize] = next_arc;
+            next_arc += 1;
+        }
+    }
+    debug_assert_eq!(next_arc, vrf.graph.num_arcs(), "arc renumbering out of sync");
+
+    // Arc (x → y, w) is in d's DAG iff x is neither the destination nor
+    // unreachable and the arc closes the distance gap — the same inclusion
+    // rule `CsrSpDag::towards` applies.
+    let affected: Vec<NodeId> = (0..baseline.vrf.routers)
+        .filter(|&d| {
+            let dist = &baseline.dags[d as usize].dist;
+            failed_arcs.iter().any(|&(x, y, w)| {
+                let (dx, dy) = (dist[x as usize], dist[y as usize]);
+                dx != 0 && dx != UNREACHABLE as u64 && dy != UNREACHABLE as u64 && dy + w == dx
+            })
+        })
+        .collect();
+
+    let mut rebuilt = build_dags(&vrf, &affected).into_iter();
+    let mut affected_iter = affected.iter().copied().peekable();
+    let dags: Vec<CsrSpDag> = (0..baseline.vrf.routers)
+        .map(|d| {
+            if affected_iter.peek() == Some(&d) {
+                affected_iter.next();
+                rebuilt.next().expect("one rebuilt DAG per affected destination")
+            } else {
+                baseline.dags[d as usize].remap_arcs(|a| {
+                    let m = arc_map[a as usize];
+                    debug_assert_ne!(m, DEAD, "unaffected DAG references a failed arc");
+                    m
+                })
+            }
+        })
+        .collect();
+    Ok((degraded, ForwardingState { scheme, vrf, dags }))
+}
+
 /// Assesses a failure plan. `diversity_samples` bounds the (quadratic)
 /// disjoint-path measurement to a deterministic subsample of rack pairs.
 pub fn assess(
@@ -110,9 +210,28 @@ pub fn assess(
     plan: &FailurePlan,
     diversity_samples: usize,
 ) -> Result<FailureImpact, TopoError> {
-    let degraded = plan.apply(topo)?;
-    let before = ForwardingState::build(&topo.graph, scheme);
-    let after = ForwardingState::build(&degraded.graph, scheme);
+    let baseline = ForwardingState::build(&topo.graph, scheme);
+    assess_with(topo, &baseline, plan, diversity_samples)
+}
+
+/// [`assess`] against a prebuilt baseline state (share one via
+/// `core::cache::RoutingCache` across a failure sweep), with the degraded
+/// state produced by [`incremental_rebuild`] instead of a from-scratch
+/// build. The scheme is the baseline's.
+pub fn assess_with(
+    topo: &Topology,
+    baseline: &ForwardingState,
+    plan: &FailurePlan,
+    diversity_samples: usize,
+) -> Result<FailureImpact, TopoError> {
+    let scheme = baseline.scheme;
+    let before = baseline;
+    let (degraded, after) = incremental_rebuild(baseline, topo, plan)?;
+    #[cfg(debug_assertions)]
+    {
+        let full = ForwardingState::build(&degraded.graph, scheme);
+        debug_assert_eq!(after, full, "incremental rebuild diverged from full rebuild");
+    }
 
     let racks_before = topo.racks();
     let racks_after = degraded.racks();
@@ -263,6 +382,53 @@ mod tests {
         let impact = assess(&t, RoutingScheme::ShortestUnion(2), &plan, 20).unwrap();
         // Victim still hosts servers but has no links: pairs to/from it die.
         assert!(impact.disconnected_pairs > 0);
+    }
+
+    #[test]
+    fn incremental_rebuild_matches_full_rebuild() {
+        let t = dring();
+        for scheme in [RoutingScheme::Ecmp, RoutingScheme::ShortestUnion(2)] {
+            let baseline = ForwardingState::build(&t.graph, scheme);
+            let mut rng = SmallRng::seed_from_u64(9);
+            for round in 0..4 {
+                let mut plan = FailurePlan::random_links(&t, 0.1, &mut rng);
+                plan.failed_switches =
+                    FailurePlan::random_switches(&t, round % 3, &mut rng).failed_switches;
+                let (degraded, inc) = incremental_rebuild(&baseline, &t, &plan).unwrap();
+                let full = ForwardingState::build(&degraded.graph, scheme);
+                assert_eq!(inc, full, "{} round {round}", scheme.label());
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_rebuild_of_empty_plan_is_the_baseline() {
+        let t = dring();
+        let baseline = ForwardingState::build(&t.graph, RoutingScheme::ShortestUnion(2));
+        let (degraded, inc) =
+            incremental_rebuild(&baseline, &t, &FailurePlan::default()).unwrap();
+        assert_eq!(degraded.graph.num_edges(), t.graph.num_edges());
+        assert_eq!(inc, baseline);
+    }
+
+    #[test]
+    fn assess_with_matches_assess() {
+        let t = dring();
+        let scheme = RoutingScheme::ShortestUnion(2);
+        let plan = FailurePlan::random_links(&t, 0.08, &mut SmallRng::seed_from_u64(3));
+        let baseline = ForwardingState::build(&t.graph, scheme);
+        let direct = assess(&t, scheme, &plan, 40).unwrap();
+        let cached = assess_with(&t, &baseline, &plan, 40).unwrap();
+        assert_eq!(direct, cached);
+    }
+
+    #[test]
+    #[should_panic(expected = "different topology")]
+    fn incremental_rebuild_rejects_foreign_baseline() {
+        let t = dring();
+        let other = LeafSpine::new(6, 3).build();
+        let baseline = ForwardingState::build(&other.graph, RoutingScheme::Ecmp);
+        let _ = incremental_rebuild(&baseline, &t, &FailurePlan::default());
     }
 
     #[test]

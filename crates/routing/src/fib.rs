@@ -9,7 +9,7 @@
 use crate::vrf::VrfGraph;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use spineless_graph::digraph::{ArcId, WeightedSpDag};
+use spineless_graph::digraph::{ArcId, CsrSpDag, DialScratch};
 use spineless_graph::{EdgeId, Graph, NodeId, UNREACHABLE};
 
 /// The two routing schemes evaluated by the paper (§4).
@@ -85,42 +85,129 @@ pub trait Forwarding {
     where
         Self: Sized,
     {
+        let mut hops = Vec::new();
+        self.sample_route_into(src, dst, rng, &mut hops).then_some(hops)
+    }
+
+    /// [`Forwarding::sample_route_generic`] into a caller-held buffer
+    /// (cleared first), so tight sampling loops — the fluid model draws one
+    /// route per demand per solve — skip the per-route allocation. Returns
+    /// `false` (buffer left empty) if unreachable or `src == dst`. Draws
+    /// the exact RNG sequence `sample_route_generic` draws, so swapping
+    /// call styles never perturbs seeded experiments.
+    fn sample_route_into<R: Rng>(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        rng: &mut R,
+        out: &mut Vec<(NodeId, EdgeId)>,
+    ) -> bool
+    where
+        Self: Sized,
+    {
+        out.clear();
         if src == dst || !self.reachable(src, dst) {
-            return None;
+            return false;
         }
         let mut v = self.start(src, dst);
-        let mut hops = Vec::new();
         while !self.delivered(v, dst) {
             let (nv, edge) = self.next_hop(v, dst, rng.gen());
-            hops.push((self.router_of(nv), edge));
+            out.push((self.router_of(nv), edge));
             v = nv;
         }
-        Some(hops)
+        true
     }
 }
 
 /// Per-destination forwarding state over the (possibly degenerate) VRF
 /// graph: everything a switch needs to forward a packet, and everything the
 /// fluid model needs to sample flow routes.
-#[derive(Debug, Clone)]
+///
+/// Next-hop tables are flat [`CsrSpDag`]s — one arena per destination — and
+/// [`ForwardingState::build`] fills them with the bucket-queue engine
+/// across worker threads. [`ForwardingState::build_reference`] is the
+/// retained serial heap-Dijkstra path; the two are `==` on every topology
+/// (pinned by tests and by `bench_snapshot`).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ForwardingState {
     /// The scheme this state implements.
     pub scheme: RoutingScheme,
     /// The VRF expansion of the physical topology.
     pub vrf: VrfGraph,
     /// `dags[d]` = min-cost DAG towards `(VRF K, d)`, indexed by router.
-    pub dags: Vec<WeightedSpDag>,
+    pub dags: Vec<CsrSpDag>,
+}
+
+/// Below this many destination DAG builds, thread spin-up costs more than
+/// the parallelism saves; build serially.
+const PAR_MIN_DESTS: usize = 16;
+
+/// Builds the min-cost CSR DAG towards each router in `dsts`, in `dsts`
+/// order, fanning the per-destination loop across worker threads.
+///
+/// Deterministic despite the parallelism: each DAG depends only on
+/// `(vrf, destination)`, workers pull indices from an atomic dispenser and
+/// tag results with them, and the tail sort restores `dsts` order — the
+/// pattern the Fig. 5/6 drivers use. Each worker holds one [`DialScratch`]
+/// so the bucket ring is allocated once per thread, not once per
+/// destination.
+pub(crate) fn build_dags(vrf: &VrfGraph, dsts: &[NodeId]) -> Vec<CsrSpDag> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(dsts.len().max(1));
+    if workers <= 1 || dsts.len() < PAR_MIN_DESTS {
+        let mut scratch = DialScratch::for_graph(&vrf.graph);
+        return dsts.iter().map(|&d| vrf.csr_dag_towards_with(d, &mut scratch)).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_mx = parking_lot::Mutex::new(Vec::<(usize, CsrSpDag)>::with_capacity(dsts.len()));
+    crossbeam::thread::scope(|scope| {
+        let (next, results_mx) = (&next, &results_mx);
+        for _ in 0..workers {
+            scope.spawn(move |_| {
+                let mut scratch = DialScratch::for_graph(&vrf.graph);
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= dsts.len() {
+                        break;
+                    }
+                    let dag = vrf.csr_dag_towards_with(dsts[i], &mut scratch);
+                    results_mx.lock().push((i, dag));
+                }
+            });
+        }
+    })
+    .expect("scope");
+    let mut results = results_mx.into_inner();
+    results.sort_by_key(|&(i, _)| i);
+    results.into_iter().map(|(_, dag)| dag).collect()
 }
 
 impl ForwardingState {
     /// Computes forwarding state for every destination router of `phys`.
     ///
-    /// Cost: one Dijkstra per destination over the `K·R`-node VRF graph —
-    /// milliseconds at the paper's 80–96 switch scale.
+    /// Fast path: bucket-queue shortest paths (VRF arc costs are `≤ K`),
+    /// CSR tables, and a parallel per-destination sweep. Bit-identical to
+    /// [`ForwardingState::build_reference`].
     pub fn build(phys: &Graph, scheme: RoutingScheme) -> ForwardingState {
         assert!(scheme.k() >= 1, "Shortest-Union(0) is not a routing scheme");
         let vrf = VrfGraph::build(phys, scheme.k());
-        let dags = (0..phys.num_nodes()).map(|d| vrf.dag_towards(d)).collect();
+        let dsts: Vec<NodeId> = (0..phys.num_nodes()).collect();
+        let dags = build_dags(&vrf, &dsts);
+        ForwardingState { scheme, vrf, dags }
+    }
+
+    /// Serial reference build: one heap Dijkstra per destination into a
+    /// nested DAG, then flattened. Kept so tests and `bench_snapshot` can
+    /// pin [`ForwardingState::build`] bit-exact against the original
+    /// pipeline on every topology.
+    pub fn build_reference(phys: &Graph, scheme: RoutingScheme) -> ForwardingState {
+        assert!(scheme.k() >= 1, "Shortest-Union(0) is not a routing scheme");
+        let vrf = VrfGraph::build(phys, scheme.k());
+        let dags = (0..phys.num_nodes())
+            .map(|d| CsrSpDag::from_nested(&vrf.dag_towards(d)))
+            .collect();
         ForwardingState { scheme, vrf, dags }
     }
 
@@ -142,7 +229,7 @@ impl ForwardingState {
     /// [`VrfGraph::edge_of_arc`] for the physical cable.
     #[inline]
     pub fn next_hops(&self, vnode: NodeId, dst: NodeId) -> &[(NodeId, ArcId)] {
-        &self.dags[dst as usize].next_hops[vnode as usize]
+        self.dags[dst as usize].next_hops(vnode)
     }
 
     /// `true` iff `src` can reach `dst` under this scheme.
@@ -178,7 +265,7 @@ impl ForwardingState {
         let mut v = self.start(src);
         let mut hops = Vec::new();
         while !self.delivered(v, dst) {
-            let nh = &dag.next_hops[v as usize];
+            let nh = dag.next_hops(v);
             debug_assert!(!nh.is_empty(), "stranded at VRF node {v}");
             let (nv, arc) = nh[rng.gen_range(0..nh.len())];
             hops.push((self.vrf.router_of(nv), self.vrf.edge_of_arc(arc)));
@@ -212,7 +299,7 @@ impl ForwardingState {
             if v == target || dag.dist[v as usize] == UNREACHABLE as u64 {
                 continue;
             }
-            let nh = &dag.next_hops[v as usize];
+            let nh = dag.next_hops(v);
             if nh.is_empty() {
                 continue; // unreachable towards this dst
             }
@@ -425,6 +512,54 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(2);
         assert!(fs.sample_route(0, 2, &mut rng).is_none());
         assert!(fs.sample_route(1, 1, &mut rng).is_none());
+    }
+
+    #[test]
+    fn build_matches_serial_reference() {
+        for g in [cycle(8), k4()] {
+            for scheme in [
+                RoutingScheme::Ecmp,
+                RoutingScheme::ShortestUnion(2),
+                RoutingScheme::ShortestUnion(3),
+            ] {
+                let fast = ForwardingState::build(&g, scheme);
+                let reference = ForwardingState::build_reference(&g, scheme);
+                assert_eq!(fast, reference, "{}", scheme.label());
+            }
+        }
+    }
+
+    #[test]
+    fn build_dags_parallel_path_matches_serial_cutoff() {
+        // 20 routers > PAR_MIN_DESTS forces the worker pool on multi-core
+        // hosts; the pool must reproduce the serial sweep exactly.
+        let g = cycle(20);
+        let vrf = VrfGraph::build(&g, 2);
+        let dsts: Vec<NodeId> = (0..20).collect();
+        let parallel = build_dags(&vrf, &dsts);
+        let mut scratch = spineless_graph::DialScratch::for_graph(&vrf.graph);
+        let serial: Vec<_> =
+            dsts.iter().map(|&d| vrf.csr_dag_towards_with(d, &mut scratch)).collect();
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn sample_route_into_matches_sample_route_generic() {
+        let g = k4();
+        let fs = ForwardingState::build(&g, RoutingScheme::ShortestUnion(2));
+        let mut rng_a = SmallRng::seed_from_u64(7);
+        let mut rng_b = SmallRng::seed_from_u64(7);
+        let mut buf = Vec::new();
+        for s in 0..4u32 {
+            for d in 0..4u32 {
+                let via_generic = fs.sample_route_generic(s, d, &mut rng_a);
+                let ok = fs.sample_route_into(s, d, &mut rng_b, &mut buf);
+                assert_eq!(ok, via_generic.is_some(), "({s},{d})");
+                assert_eq!(buf, via_generic.unwrap_or_default(), "({s},{d})");
+            }
+        }
+        // Identical draws → the two rngs stay in lockstep to the end.
+        assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
     }
 
     #[test]

@@ -30,7 +30,7 @@
 //! the ascent reconstruction and verify exhaustively.)
 
 use serde::{Deserialize, Serialize};
-use spineless_graph::digraph::{ArcId, DiGraph, DiGraphBuilder, WeightedSpDag};
+use spineless_graph::digraph::{ArcId, CsrSpDag, DiGraph, DiGraphBuilder, DialScratch, WeightedSpDag};
 use spineless_graph::{EdgeId, Graph, NodeId, UNREACHABLE};
 
 /// The expanded VRF graph of a physical topology, for a given `K`.
@@ -39,7 +39,7 @@ use spineless_graph::{EdgeId, Graph, NodeId, UNREACHABLE};
 /// With `K = 1` the construction degenerates to the physical graph with
 /// unit costs — i.e. plain shortest-path ECMP — which is how the rest of
 /// the workspace treats ECMP and Shortest-Union uniformly.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct VrfGraph {
     /// Number of VRFs per router (the `K` of Shortest-Union(K)).
     pub k: u32,
@@ -137,8 +137,26 @@ impl VrfGraph {
 
     /// The min-cost forwarding DAG towards `(VRF K, dst)` — the FIBs every
     /// VRF speaker installs for destination prefix `dst` once BGP converges.
+    ///
+    /// Nested layout, heap Dijkstra — the bit-exact reference the fast CSR
+    /// path ([`VrfGraph::csr_dag_towards_with`]) is pinned against.
     pub fn dag_towards(&self, dst: NodeId) -> WeightedSpDag {
         WeightedSpDag::towards(&self.graph, self.host_node(dst))
+    }
+
+    /// [`VrfGraph::dag_towards`] in flat CSR form, built with the
+    /// bucket-queue engine. Every VRF arc costs at most `K` (rule 1 pays
+    /// `i ≤ K`, rules 2–3 pay 1), so Dial's ring needs only `K + 1`
+    /// buckets — far under [`DialScratch::MAX_BUCKET_COST`] at any `K` the
+    /// paper evaluates. The caller-held `scratch` lets a per-destination
+    /// sweep reuse one bucket ring across all destinations.
+    pub fn csr_dag_towards_with(&self, dst: NodeId, scratch: &mut DialScratch) -> CsrSpDag {
+        CsrSpDag::towards_with(&self.graph, self.host_node(dst), scratch)
+    }
+
+    /// [`VrfGraph::csr_dag_towards_with`] allocating its own scratch.
+    pub fn csr_dag_towards(&self, dst: NodeId) -> CsrSpDag {
+        CsrSpDag::towards(&self.graph, self.host_node(dst))
     }
 
     /// All Shortest-Union(K) *router-level* paths from `src` to `dst`, up
@@ -297,6 +315,22 @@ mod tests {
                 !dag.next_hops[v.host_node(r) as usize].is_empty(),
                 "router {r}"
             );
+        }
+    }
+
+    #[test]
+    fn csr_dag_matches_nested_dag_on_vrf_graphs() {
+        for (g, kmax) in [(cycle(8), 4u32), (k4(), 3u32)] {
+            for k in 1..=kmax {
+                let v = VrfGraph::build(&g, k);
+                let mut scratch = DialScratch::for_graph(&v.graph);
+                for d in 0..g.num_nodes() {
+                    let nested = v.dag_towards(d);
+                    let csr = v.csr_dag_towards_with(d, &mut scratch);
+                    assert_eq!(csr, CsrSpDag::from_nested(&nested), "k={k} d={d}");
+                    assert_eq!(csr, v.csr_dag_towards(d));
+                }
+            }
         }
     }
 

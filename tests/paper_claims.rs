@@ -60,7 +60,7 @@ fn claim_bgp_realizes_shortest_union() {
                 continue;
             }
             let mut a = pr.fib[v as usize].clone();
-            let mut b = dag.next_hops[v as usize].clone();
+            let mut b = dag.next_hops(v).to_vec();
             a.sort_unstable();
             b.sort_unstable();
             assert_eq!(a, b, "dst {dst} vnode {v}");

@@ -123,6 +123,37 @@ proptest! {
         }
     }
 
+    /// Bucket-queue shortest paths equal heap Dijkstra, and CSR DAGs equal
+    /// flattened nested DAGs, on VRF expansions of random graphs — the
+    /// small-integer-cost regime (arcs cost 1..=K) Dial's algorithm
+    /// targets.
+    #[test]
+    fn bucket_queue_and_csr_match_references(g in connected_graph(), k in 1u32..=3) {
+        use spineless::graph::{CsrSpDag, DialScratch};
+        let vrf = VrfGraph::build(&g, k);
+        let dg = &vrf.graph;
+        let mut scratch = DialScratch::for_graph(dg);
+        for dst in 0..dg.num_nodes() {
+            prop_assert_eq!(dg.bucket_dijkstra_to(dst, &mut scratch), dg.dijkstra_to(dst));
+        }
+        prop_assert_eq!(dg.bucket_dijkstra_from(0, &mut scratch), dg.dijkstra_from(0));
+        for r in 0..g.num_nodes() {
+            let nested = vrf.dag_towards(r);
+            let csr = vrf.csr_dag_towards_with(r, &mut scratch);
+            prop_assert_eq!(csr, CsrSpDag::from_nested(&nested));
+        }
+    }
+
+    /// The flat all-pairs distance matrix matches per-source BFS.
+    #[test]
+    fn distance_matrix_rows_match_bfs(g in connected_graph()) {
+        let m = bfs::all_pairs_distances(&g);
+        for v in 0..g.num_nodes() {
+            let d = bfs::distances(&g, v);
+            prop_assert_eq!(m.row(v), &d[..]);
+        }
+    }
+
     /// Shortest-Union(2) router paths are valid simple paths whose length
     /// is either the pair distance or <= 2, and include every shortest
     /// path (when enumerable).

@@ -1,0 +1,63 @@
+//! Property-based tests for the fast routing-state pipeline: the parallel
+//! bucket-queue/CSR build against the serial heap-Dijkstra reference, and
+//! incremental failure recompute against the full rebuild, on random
+//! DRing / RRG / leaf-spine instances.
+
+use proptest::prelude::*;
+use spineless::prelude::*;
+use spineless::routing::failures::{incremental_rebuild, FailurePlan};
+
+/// Strategy: one of the paper's three topology families at a small random
+/// size, plus a routing scheme (ECMP on the leaf-spine, Shortest-Union(K)
+/// on the flat topologies, as the evaluation pairs them).
+fn topo_and_scheme() -> impl Strategy<Value = (Topology, RoutingScheme)> {
+    (0u8..3, any::<u64>(), 2u32..=3).prop_map(|(kind, seed, k)| {
+        let topo = match kind {
+            0 => DRing::uniform(5 + (seed % 3) as u32, 2 + (seed % 2) as u32, 24).build(),
+            1 => Rrg::uniform(12 + (seed % 8) as u32, 5, 4, 10, seed).build(),
+            _ => LeafSpine::new(4 + (seed % 4) as u32, 3).build(),
+        };
+        let scheme = if kind == 2 {
+            RoutingScheme::Ecmp
+        } else {
+            RoutingScheme::ShortestUnion(k)
+        };
+        (topo, scheme)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The parallel bucket-queue CSR build is bit-identical to the serial
+    /// heap-Dijkstra reference on every topology family.
+    #[test]
+    fn fast_build_matches_reference((topo, scheme) in topo_and_scheme()) {
+        let fast = ForwardingState::build(&topo.graph, scheme);
+        let reference = ForwardingState::build_reference(&topo.graph, scheme);
+        prop_assert_eq!(fast, reference);
+    }
+
+    /// Incremental failure recompute is bit-identical to a full rebuild of
+    /// the degraded topology, for random link-cut/switch-kill plans.
+    #[test]
+    fn incremental_recompute_matches_full_rebuild(
+        (topo, scheme) in topo_and_scheme(),
+        seed in any::<u64>(),
+        fraction in 0.0f64..0.25,
+        kill_switch in any::<bool>(),
+    ) {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut plan = FailurePlan::random_links(&topo, fraction, &mut rng);
+        if kill_switch {
+            plan.failed_switches =
+                FailurePlan::random_switches(&topo, 1, &mut rng).failed_switches;
+        }
+        let baseline = ForwardingState::build(&topo.graph, scheme);
+        let (degraded, inc) = incremental_rebuild(&baseline, &topo, &plan).unwrap();
+        let full = ForwardingState::build(&degraded.graph, scheme);
+        prop_assert_eq!(inc, full);
+    }
+}
