@@ -1,22 +1,29 @@
 //! Criterion micro-benchmarks for the packet simulator: event throughput
 //! under the workload shapes the experiments use.
 //!
-//! The forwarding state is built *outside* `b.iter` — building it is a
-//! separate cost with its own `routing_state_build` case, and folding it
-//! into the simulation loop would swamp the event-processing signal the
-//! `packet_sim` numbers are meant to track.
+//! The forwarding state *and* the flat FIB hot-cache are built outside
+//! `b.iter` — building them is a separate cost with its own
+//! `routing_state_build` case, and folding either into the simulation loop
+//! would swamp the event-processing signal the `packet_sim` numbers are
+//! meant to track. (`Simulation::new` builds the hot-cache inline when the
+//! plane supports one, so a bench that constructs the simulation inside the
+//! timed closure must pre-warm via `with_fib_cache` instead.)
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use spineless_core::fct::{generate_workload, TmKind};
 use spineless_core::{EvalTopos, Scale};
-use spineless_routing::{ForwardingState, RoutingScheme};
-use spineless_sim::{Scheduler, SimConfig, Simulation};
+use spineless_graph::NodeId;
+use spineless_routing::{Forwarding, ForwardingState, RoutingScheme};
+use spineless_sim::{Datapath, Scheduler, SimConfig, Simulation, TimerWheel};
+use std::sync::Arc;
 
 fn bench_sim(c: &mut Criterion) {
     let mut g = c.benchmark_group("packet_sim");
     g.sample_size(10);
     let topos = EvalTopos::build(Scale::Small, 1);
     let fs = ForwardingState::build(&topos.dring.graph, RoutingScheme::ShortestUnion(2));
+    let edges = topos.dring.graph.edges().to_vec();
+    let fib = Arc::new(fs.fib_cache(&edges).expect("small plane caches"));
     for (name, tm) in [("uniform", TmKind::Uniform), ("fb_skewed", TmKind::FbSkewed)] {
         let flows = generate_workload(tm, &topos.dring, 4_000_000, 500_000, 2);
         for (sched_name, scheduler) in
@@ -26,7 +33,13 @@ fn bench_sim(c: &mut Criterion) {
             g.bench_with_input(id, &flows, |b, flows| {
                 b.iter(|| {
                     let cfg = SimConfig { scheduler, ..Default::default() };
-                    let mut sim = Simulation::new(&topos.dring, &fs, cfg, 3);
+                    let mut sim = Simulation::with_fib_cache(
+                        &topos.dring,
+                        &fs,
+                        cfg,
+                        3,
+                        Some(fib.clone()),
+                    );
                     for f in &flows.flows {
                         sim.add_flow(f.src, f.dst, f.bytes, f.start_ns).expect("valid flow");
                     }
@@ -34,6 +47,96 @@ fn bench_sim(c: &mut Criterion) {
                 })
             });
         }
+    }
+    g.finish();
+}
+
+/// The per-packet hot path in isolation: flat FIB hot-cache lookups vs the
+/// reference CSR-DAG `next_hop`, the RTO timer wheel's insert/cancel churn,
+/// and the end-to-end fast-vs-reference datapath on a full workload.
+fn bench_datapath(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_datapath");
+    g.sample_size(10);
+    let topos = EvalTopos::build(Scale::Small, 1);
+    let fs = ForwardingState::build(&topos.dring.graph, RoutingScheme::ShortestUnion(2));
+    let edges = topos.dring.graph.edges().to_vec();
+    let fib = Arc::new(fs.fib_cache(&edges).expect("small plane caches"));
+
+    // Query set: every forwarding-relevant (vnode, dst) pair of the plane,
+    // prebuilt so the timed loop is lookups only. Both variants walk the
+    // identical set with the identical hash sequence.
+    let mut queries: Vec<(NodeId, NodeId)> = Vec::new();
+    for dst in 0..topos.dring.graph.num_nodes() {
+        for vnode in 0..fs.vrf.graph.num_nodes() {
+            if !fs.delivered(vnode, dst) && !fs.next_hops(vnode, dst).is_empty() {
+                queries.push((vnode, dst));
+            }
+        }
+    }
+    g.bench_function(BenchmarkId::new("fib_lookup", "hot_cache"), |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            let mut hash = 0x9E37_79B9_7F4A_7C15u64;
+            for &(vnode, dst) in &queries {
+                hash = hash.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(1);
+                let (nv, link) = fib.next_hop(vnode, dst, hash);
+                acc = acc.wrapping_add(nv as u64).wrapping_add(link as u64);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function(BenchmarkId::new("fib_lookup", "reference"), |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            let mut hash = 0x9E37_79B9_7F4A_7C15u64;
+            for &(vnode, dst) in &queries {
+                hash = hash.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(1);
+                let (nv, edge) = Forwarding::next_hop(&fs, vnode, dst, hash);
+                acc = acc.wrapping_add(nv as u64).wrapping_add(edge as u64);
+            }
+            black_box(acc)
+        })
+    });
+
+    // RTO timer churn as TCP produces it: every ACK cancels the flow's
+    // pending timer and re-arms it one RTO later; a sweep drains the rest.
+    let timer_flows = 1024u32;
+    g.bench_function(BenchmarkId::new("timer_wheel", "insert_cancel"), |b| {
+        b.iter(|| {
+            let mut wheel = TimerWheel::new();
+            let mut seq = 0u64;
+            for round in 0..32u64 {
+                for f in 0..timer_flows {
+                    wheel.cancel(f);
+                    seq += 1;
+                    wheel.insert(round * 50_000 + f as u64 * 17 + 200_000, seq, f, round);
+                }
+            }
+            let mut drained = 0u32;
+            while wheel.pop_earliest().is_some() {
+                drained += 1;
+            }
+            black_box(drained)
+        })
+    });
+
+    // End-to-end: the fast datapath (hot-cache + wheel + TxDone elision +
+    // zero-alloc turnaround) vs the retained reference path, same workload
+    // as `packet_sim`. The hot-cache is pre-warmed for both; the reference
+    // run ignores it.
+    let flows = generate_workload(TmKind::Uniform, &topos.dring, 4_000_000, 500_000, 2);
+    for (name, datapath) in [("fast", Datapath::Fast), ("reference", Datapath::Reference)] {
+        g.bench_with_input(BenchmarkId::new("full_run", name), &flows, |b, flows| {
+            b.iter(|| {
+                let cfg = SimConfig { datapath, ..Default::default() };
+                let mut sim =
+                    Simulation::with_fib_cache(&topos.dring, &fs, cfg, 3, Some(fib.clone()));
+                for f in &flows.flows {
+                    sim.add_flow(f.src, f.dst, f.bytes, f.start_ns).expect("valid flow");
+                }
+                sim.run()
+            })
+        });
     }
     g.finish();
 }
@@ -134,6 +237,7 @@ fn bench_csr_walk(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_sim,
+    bench_datapath,
     bench_routing_state_build,
     bench_incremental_failures,
     bench_csr_walk

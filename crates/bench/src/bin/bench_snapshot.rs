@@ -2,11 +2,17 @@
 //! timing the pre-optimization code paths (reference-heap scheduler,
 //! per-cell routing-state rebuild, serial Fig. 5 grid, full-scan fluid
 //! solver, serial heap-Dijkstra routing builds, from-scratch failure
-//! recompute, nested next-hop tables) against the current defaults
-//! (calendar queue, shared routing cache, parallel grid, active-list
-//! solver, parallel bucket-queue CSR builds, incremental failure
-//! recompute). Writes `BENCH_sim.json` (wall time, events/sec, cells/sec,
-//! speedups) and prints a summary.
+//! recompute, nested next-hop tables, reference per-packet datapath)
+//! against the current defaults (calendar queue, shared routing cache,
+//! parallel grid, active-list solver, parallel bucket-queue CSR builds,
+//! incremental failure recompute, fast datapath: FIB hot-cache + RTO
+//! timer wheel + terminal-TxDone elision + zero-alloc TCP turnaround).
+//! Writes `BENCH_sim.json` (wall time, events/sec, pkt-hops/sec,
+//! cells/sec, speedups) and prints a summary.
+//!
+//! Build with `--features count-allocs` to additionally report measured
+//! allocations per packet-hop for both datapaths (a counting global
+//! allocator; the field is `null` otherwise).
 //!
 //! Both paths are measured in one invocation on the same machine, so the
 //! speedup figures are self-contained. The "before" paths are the real
@@ -28,9 +34,29 @@ use spineless_core::{EvalTopos, RoutingCache, Scale};
 use spineless_fluid::{max_min_rates, max_min_rates_reference, LinkSpace};
 use spineless_routing::failures::{incremental_rebuild, FailurePlan};
 use spineless_routing::{Forwarding, ForwardingState, RoutingScheme};
-use spineless_sim::{Scheduler, SimConfig, Simulation};
+use spineless_sim::{Datapath, Scheduler, SimConfig, Simulation};
 use spineless_topo::dring::DRing;
+use std::sync::Arc;
 use std::time::Instant;
+
+/// Counts every allocation when built with `--features count-allocs`, so
+/// `sim_datapath.allocs_per_pkt_hop` is a measured number.
+#[cfg(feature = "count-allocs")]
+#[global_allocator]
+static ALLOC: spineless_bench::alloc_count::CountingAlloc =
+    spineless_bench::alloc_count::CountingAlloc;
+
+/// Allocation counter reading, or `None` without the feature.
+fn alloc_reading() -> Option<u64> {
+    #[cfg(feature = "count-allocs")]
+    {
+        Some(spineless_bench::alloc_count::allocations())
+    }
+    #[cfg(not(feature = "count-allocs"))]
+    {
+        None
+    }
+}
 
 /// The Fig. 4 grid exactly as `run_fig4` runs it, minus the two
 /// optimizations: `scheduler` selects the event queue and each cell
@@ -125,6 +151,53 @@ fn main() {
         "scheduler: {events} events — calendar {:.0} ev/s vs heap {:.0} ev/s ({sched_speedup:.2}x)",
         events as f64 / cal_s,
         events as f64 / heap_s
+    );
+
+    // --- Per-packet datapath: fast (FIB hot-cache, RTO timer wheel,
+    // terminal-TxDone elision, zero-alloc TCP turnaround) vs the retained
+    // reference path, on the same workload as the scheduler microbench.
+    // The hot-cache is built once *outside* the timed region (the same
+    // pollution class fixed for routing-state builds in P1) and handed to
+    // both runs' constructor via `with_fib_cache`; the reference run
+    // ignores it. ---
+    let edges = topos.dring.graph.edges().to_vec();
+    let fib = Arc::new(fs.fib_cache(&edges).expect("plane supports a hot cache"));
+    let run_datapath = |datapath| {
+        let cfg = SimConfig { datapath, ..Default::default() };
+        let mut sim =
+            Simulation::with_fib_cache(&topos.dring, &fs, cfg, seed, Some(fib.clone()));
+        for f in &flows.flows {
+            sim.add_flow(f.src, f.dst, f.bytes, f.start_ns).expect("valid flow");
+        }
+        let a0 = alloc_reading();
+        let t0 = Instant::now();
+        let r = sim.run();
+        let wall = t0.elapsed().as_secs_f64();
+        let allocs = alloc_reading().zip(a0).map(|(a1, a0)| a1 - a0);
+        (wall, allocs, r, sim.pkt_hops(), sim.switch_link_tx_bytes())
+    };
+    let (dp_fast_s, dp_fast_allocs, dp_fast_r, dp_hops, dp_fast_tx) =
+        run_datapath(Datapath::Fast);
+    let (dp_ref_s, dp_ref_allocs, dp_ref_r, dp_ref_hops, dp_ref_tx) =
+        run_datapath(Datapath::Reference);
+    assert_eq!(dp_fast_r.fcts(), dp_ref_r.fcts(), "datapaths diverged: FCTs");
+    assert_eq!(dp_fast_r.dropped_packets, dp_ref_r.dropped_packets, "datapaths diverged: drops");
+    assert_eq!(
+        dp_fast_r.delivered_bytes, dp_ref_r.delivered_bytes,
+        "datapaths diverged: delivered bytes"
+    );
+    assert_eq!(dp_hops, dp_ref_hops, "datapaths diverged: packet-hops");
+    assert_eq!(dp_fast_tx, dp_ref_tx, "datapaths diverged: per-link tx bytes");
+    let dp_speedup = dp_ref_s / dp_fast_s;
+    let fmt_allocs = |allocs: Option<u64>| match allocs {
+        Some(a) => format!("{:.4}", a as f64 / dp_hops as f64),
+        None => "null".to_owned(),
+    };
+    let (dp_fast_aph, dp_ref_aph) = (fmt_allocs(dp_fast_allocs), fmt_allocs(dp_ref_allocs));
+    eprintln!(
+        "datapath: {dp_hops} pkt-hops — fast {:.0} hops/s vs reference {:.0} hops/s ({dp_speedup:.2}x), allocs/hop fast {dp_fast_aph} ref {dp_ref_aph}",
+        dp_hops as f64 / dp_fast_s,
+        dp_hops as f64 / dp_ref_s
     );
 
     // --- Fig. 4 grid end-to-end: before (heap + per-cell builds) vs
@@ -288,7 +361,7 @@ fn main() {
     // dependency, and the document is flat enough that format! suffices.
     let json = format!(
         r#"{{
-  "schema": "bench_snapshot/v2",
+  "schema": "bench_snapshot/v3",
   "seed": {seed},
   "scale": "small",
   "host_threads": {threads},
@@ -298,6 +371,15 @@ fn main() {
     "calendar": {{ "wall_s": {cal_s:.4}, "events_per_sec": {cal_eps:.0} }},
     "reference_heap": {{ "wall_s": {heap_s:.4}, "events_per_sec": {heap_eps:.0} }},
     "speedup": {sched_speedup:.3},
+    "results_identical": true
+  }},
+  "sim_datapath": {{
+    "workload": "fig4-style A2A on DRing su2, 8 MB offered",
+    "pkt_hops": {dp_hops},
+    "fib_cache_prewarmed": true,
+    "fast": {{ "wall_s": {dp_fast_s:.4}, "pkt_hops_per_sec": {dp_fast_hps:.0}, "events": {dp_fast_events}, "events_per_sec": {dp_fast_eps:.0}, "allocs_per_pkt_hop": {dp_fast_aph} }},
+    "reference": {{ "wall_s": {dp_ref_s:.4}, "pkt_hops_per_sec": {dp_ref_hps:.0}, "events": {dp_ref_events}, "events_per_sec": {dp_ref_eps:.0}, "allocs_per_pkt_hop": {dp_ref_aph} }},
+    "speedup": {dp_speedup:.3},
     "results_identical": true
   }},
   "fig4_small_grid": {{
@@ -350,6 +432,12 @@ fn main() {
 "#,
         cal_eps = events as f64 / cal_s,
         heap_eps = events as f64 / heap_s,
+        dp_fast_hps = dp_hops as f64 / dp_fast_s,
+        dp_ref_hps = dp_hops as f64 / dp_ref_s,
+        dp_fast_events = dp_fast_r.events,
+        dp_ref_events = dp_ref_r.events,
+        dp_fast_eps = dp_fast_r.events as f64 / dp_fast_s,
+        dp_ref_eps = dp_ref_r.events as f64 / dp_ref_s,
         fig4_before_cps = fig4_cells as f64 / fig4_before_s,
         fig4_after_cps = fig4_cells as f64 / fig4_after_s,
         fig5_serial_cps = fig5_cells as f64 / fig5_serial_s,

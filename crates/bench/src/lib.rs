@@ -13,6 +13,47 @@
 //!
 //! Plus Criterion micro-benchmarks per substrate in `benches/`.
 
+/// Allocation counting for `bench_snapshot`'s `sim_datapath` section
+/// (feature `count-allocs`): a [`GlobalAlloc`](std::alloc::GlobalAlloc)
+/// wrapper over the system allocator that counts every `alloc`/`realloc`
+/// call, so the zero-allocation claim of the fast datapath's steady-state
+/// loop is a measured number (allocations per packet-hop), not an
+/// assertion.
+#[cfg(feature = "count-allocs")]
+pub mod alloc_count {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    /// Counting wrapper around [`System`]. Install in a binary with
+    /// `#[global_allocator] static A: CountingAlloc = CountingAlloc;`.
+    pub struct CountingAlloc;
+
+    // SAFETY: delegates every operation verbatim to `System`; the counter
+    // update has no effect on allocation behaviour.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    /// Total `alloc` + `realloc` calls since process start. Subtract two
+    /// readings to count a region; the counter never resets (other threads
+    /// may observe it concurrently).
+    pub fn allocations() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+}
+
 /// Minimal CLI parsing shared by the harness binaries: reads
 /// `--scale small|paper` (default small) and `--seed N` (default 42);
 /// unknown arguments abort with a usage hint.

@@ -40,6 +40,85 @@ impl RoutingScheme {
     }
 }
 
+/// Flat, direct-indexed FIB: the per-packet hot path of the simulator.
+///
+/// For every `(vnode, dst router)` pair, the ECMP next-hop set as an
+/// `(offset, len)` slot into one shared arena of
+/// `(next vnode, directed link)` entries, where the directed link is the
+/// simulator's `2 * edge + dir` id (`dir = 0` when the hop leaves the
+/// edge's first endpoint). A hop lookup is one multiply-index plus a
+/// modulo — no CSR DAG walk, no edge-endpoint resolution.
+///
+/// Arena slices preserve the exact order of [`ForwardingState::next_hops`],
+/// so `hash % len` picks the identical entry the reference path picks;
+/// the engine cross-checks this per lookup in debug builds and the
+/// proptests pin whole-simulation equality.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FibCache {
+    /// Number of vnodes of the plane this cache was built from.
+    vnodes: u32,
+    /// `slots[dst as usize * vnodes + vnode]` = `(arena offset, len)`.
+    slots: Vec<(u32, u32)>,
+    /// All next-hop entries, `(next vnode, directed link id)`.
+    arena: Vec<(NodeId, u32)>,
+}
+
+/// Hard cap on `routers × vnodes` slots (~512 MiB of slot table at the
+/// limit); planes beyond it — far past any topology this repo evaluates —
+/// simply run without a hot cache.
+const FIB_CACHE_MAX_SLOTS: u64 = 1 << 26;
+
+impl FibCache {
+    /// Builds the flat cache for `fs` given the physical edge endpoints
+    /// (`edges[e] = (a, b)`, the simulator's direction convention).
+    /// Returns `None` when the slot table would exceed the size guard.
+    pub fn build(fs: &ForwardingState, edges: &[(NodeId, NodeId)]) -> Option<FibCache> {
+        let vnodes = fs.vrf.graph.num_nodes();
+        let routers = fs.vrf.routers;
+        if vnodes as u64 * routers as u64 > FIB_CACHE_MAX_SLOTS {
+            return None;
+        }
+        let mut slots = Vec::with_capacity((vnodes as usize) * (routers as usize));
+        let mut arena: Vec<(NodeId, u32)> = Vec::new();
+        for dst in 0..routers {
+            for vnode in 0..vnodes {
+                let nh = fs.next_hops(vnode, dst);
+                let off = arena.len() as u32;
+                for &(nv, arc) in nh {
+                    let edge = fs.vrf.edge_of_arc(arc);
+                    let (a, _b) = edges[edge as usize];
+                    let dir = if fs.vrf.router_of(vnode) == a { 0 } else { 1 };
+                    arena.push((nv, 2 * edge + dir));
+                }
+                slots.push((off, nh.len() as u32));
+            }
+        }
+        assert!(arena.len() <= u32::MAX as usize, "FIB arena overflows u32 offsets");
+        Some(FibCache { vnodes, slots, arena })
+    }
+
+    /// Number of vnodes the cache indexes (engine sanity checks).
+    pub fn vnodes(&self) -> u32 {
+        self.vnodes
+    }
+
+    /// The hop a flow hashing to `hash` takes from `vnode` towards `dst`:
+    /// `(next vnode, directed link id)`. Same selection rule as
+    /// [`Forwarding::next_hop`] (`hash % len`), so the physical edge is
+    /// `link >> 1`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts a non-empty next-hop set; calling at a delivered or
+    /// unreachable vnode is a bug, exactly as for `next_hop`.
+    #[inline]
+    pub fn next_hop(&self, vnode: NodeId, dst: NodeId, hash: u64) -> (NodeId, u32) {
+        let (off, len) = self.slots[dst as usize * self.vnodes as usize + vnode as usize];
+        debug_assert!(len > 0, "no route at vnode {vnode} towards {dst}");
+        self.arena[off as usize + (hash % len as u64) as usize]
+    }
+}
+
 /// The forwarding interface the packet simulator and the fluid model drive.
 ///
 /// A forwarding plane assigns every in-fabric packet a *virtual node*
@@ -72,6 +151,16 @@ pub trait Forwarding {
     ///
     /// May panic if called at a delivered or unreachable vnode.
     fn next_hop(&self, vnode: NodeId, dst: NodeId, hash: u64) -> (NodeId, EdgeId);
+
+    /// Builds a [`FibCache`] answering [`Forwarding::next_hop`] queries by
+    /// direct indexing, or `None` if this plane does not support one (the
+    /// default — composite planes fall back to the generic path). `edges`
+    /// are the physical edge endpoints in the simulator's direction
+    /// convention.
+    fn fib_cache(&self, edges: &[(NodeId, NodeId)]) -> Option<FibCache> {
+        let _ = edges;
+        None
+    }
 
     /// Samples one route `src → dst` by an independent uniform choice per
     /// hop (the random-walk distribution per-flow ECMP induces), returning
@@ -338,6 +427,10 @@ impl Forwarding for ForwardingState {
         let (nv, arc) = nh[(hash % nh.len() as u64) as usize];
         (nv, self.vrf.edge_of_arc(arc))
     }
+
+    fn fib_cache(&self, edges: &[(NodeId, NodeId)]) -> Option<FibCache> {
+        FibCache::build(self, edges)
+    }
 }
 
 /// Forwarding through a shared reference: lets one built state drive many
@@ -362,6 +455,9 @@ impl<F: Forwarding> Forwarding for &F {
     fn next_hop(&self, vnode: NodeId, dst: NodeId, hash: u64) -> (NodeId, EdgeId) {
         (**self).next_hop(vnode, dst, hash)
     }
+    fn fib_cache(&self, edges: &[(NodeId, NodeId)]) -> Option<FibCache> {
+        (**self).fib_cache(edges)
+    }
 }
 
 /// Forwarding through an [`Arc`](std::sync::Arc): the sharing mode the
@@ -385,6 +481,9 @@ impl<F: Forwarding> Forwarding for std::sync::Arc<F> {
     }
     fn next_hop(&self, vnode: NodeId, dst: NodeId, hash: u64) -> (NodeId, EdgeId) {
         (**self).next_hop(vnode, dst, hash)
+    }
+    fn fib_cache(&self, edges: &[(NodeId, NodeId)]) -> Option<FibCache> {
+        (**self).fib_cache(edges)
     }
 }
 
@@ -560,6 +659,58 @@ mod tests {
         }
         // Identical draws → the two rngs stay in lockstep to the end.
         assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+    }
+
+    #[test]
+    fn fib_cache_matches_next_hop_exhaustively() {
+        // Every (vnode, dst, hash) the simulator could ask: the cache's
+        // direct-indexed answer must equal next_hop plus the engine's
+        // edge-direction resolution.
+        for g in [cycle(8), k4()] {
+            let edges: Vec<(NodeId, NodeId)> = g.edges().to_vec();
+            for scheme in [RoutingScheme::Ecmp, RoutingScheme::ShortestUnion(2)] {
+                let fs = ForwardingState::build(&g, scheme);
+                let cache = fs.fib_cache(&edges).expect("small plane caches");
+                for dst in 0..g.num_nodes() {
+                    for vnode in 0..fs.vrf.graph.num_nodes() {
+                        if fs.delivered(vnode, dst) || fs.next_hops(vnode, dst).is_empty() {
+                            continue;
+                        }
+                        for hash in [0u64, 1, 7, 0xDEAD_BEEF, u64::MAX] {
+                            let (nv, link) = cache.next_hop(vnode, dst, hash);
+                            let (rnv, redge) =
+                                Forwarding::next_hop(&fs, vnode, dst, hash);
+                            assert_eq!(nv, rnv, "vnode {vnode} dst {dst}");
+                            assert_eq!(link >> 1, redge, "vnode {vnode} dst {dst}");
+                            let router = fs.vrf.router_of(vnode);
+                            let dir = if edges[redge as usize].0 == router { 0 } else { 1 };
+                            assert_eq!(link, 2 * redge + dir);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fib_cache_forwards_through_ref_and_arc() {
+        // The blanket impls must not swallow the cache — the experiment
+        // drivers pass `&fs` / `Arc<fs>` into the engine.
+        let g = k4();
+        let edges: Vec<(NodeId, NodeId)> = g.edges().to_vec();
+        let fs = ForwardingState::build(&g, RoutingScheme::ShortestUnion(2));
+        let direct = fs.fib_cache(&edges).unwrap();
+        // UFCS so the calls go through the blanket impls rather than
+        // auto-deref'ing back to ForwardingState's own.
+        assert_eq!(
+            <&ForwardingState as Forwarding>::fib_cache(&&fs, &edges).unwrap(),
+            direct
+        );
+        let arc = std::sync::Arc::new(fs);
+        assert_eq!(
+            <std::sync::Arc<ForwardingState> as Forwarding>::fib_cache(&arc, &edges).unwrap(),
+            direct
+        );
     }
 
     #[test]

@@ -61,5 +61,5 @@ pub mod vrf;
 
 pub use adaptive::DualPlane;
 pub use vlb::Vlb;
-pub use fib::{Forwarding, ForwardingState, RoutingScheme};
+pub use fib::{FibCache, Forwarding, ForwardingState, RoutingScheme};
 pub use vrf::VrfGraph;

@@ -7,16 +7,21 @@
 //! events (serialization done, arrival after propagation), matching
 //! htsim's store-and-forward model.
 
-use crate::equeue::EventQueue;
+use crate::equeue::{EventQueue, TimerWheel};
 use crate::link::{LinkQueue, Offer};
 use crate::packet::Packet;
 use crate::tcp::{TcpOutput, TcpReceiver, TcpSender};
-use crate::types::{DirLinkId, FlowId, FlowRecord, Ns, SimConfig, SimReport};
+use crate::types::{Datapath, DirLinkId, FlowId, FlowRecord, Ns, SimConfig, SimReport};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use spineless_graph::NodeId;
-use spineless_routing::{Forwarding, ForwardingState};
+use spineless_routing::{FibCache, Forwarding, ForwardingState};
 use spineless_topo::Topology;
+use std::sync::Arc;
+
+/// XOR'd into the ECMP hash input of ACKs so the reverse stream rolls its
+/// own path, independent of the data stream's.
+const ACK_SALT: u64 = 0xA5A5_5A5A_DEAD_BEEF;
 
 /// Everything that can happen.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,8 +105,34 @@ pub struct Simulation<F: Forwarding = ForwardingState> {
     seq: u64,
     now: Ns,
     events: u64,
+    /// Packet-link offers processed (accepted or dropped) — identical
+    /// across datapaths, unlike `events`, so it is the per-packet work
+    /// unit datapath throughput is measured in.
+    pkt_hops: u64,
     completed: usize,
     delivered_bytes: u64,
+
+    // ---- fast datapath (cfg.datapath == Datapath::Fast) ----
+    /// `true` for the fast datapath; every fast-only structure below is
+    /// inert when this is `false`.
+    fast: bool,
+    /// Direct-indexed FIB replica; `None` falls back to walking `fs` per
+    /// hop (reference datapath, oversized fabrics, or forwarding planes
+    /// that don't expose one, e.g. `DualPlane`).
+    hot: Option<Arc<FibCache>>,
+    /// RTO timers live here instead of the event queue: armed/re-armed
+    /// once per ACK, cancelled eagerly, merged back into the event stream
+    /// by [`Self::next_event`] at their exact `(time, seq)` key.
+    wheel: TimerWheel,
+    /// The next main-queue event, held while merging with the wheel.
+    staged: Option<(Ns, u64, Ev)>,
+    /// Insertion seq of the event currently being processed; together
+    /// with `now` this is the reference pop point that elided terminal
+    /// `TxDone`s are lazily resolved against.
+    cur_seq: u64,
+    /// Reused TCP output buffer — the steady-state fast loop performs no
+    /// per-event allocation.
+    out_scratch: TcpOutput,
 }
 
 impl<F: Forwarding> Simulation<F> {
@@ -113,6 +144,22 @@ impl<F: Forwarding> Simulation<F> {
     /// Panics if the forwarding plane's router count does not match the
     /// topology.
     pub fn new(topo: &Topology, fs: F, cfg: SimConfig, seed: u64) -> Simulation<F> {
+        Self::with_fib_cache(topo, fs, cfg, seed, None)
+    }
+
+    /// [`new`](Self::new) with an optional pre-built FIB hot-cache, so
+    /// callers timing the simulation (benchmarks) can hoist the one-time
+    /// [`FibCache::build`] cost out of the measured region. `cache` must
+    /// have been built from this exact `fs` and `topo` (the debug-mode
+    /// cross-checks catch a mismatch); `None` builds one here when the
+    /// fast datapath is selected.
+    pub fn with_fib_cache(
+        topo: &Topology,
+        fs: F,
+        cfg: SimConfig,
+        seed: u64,
+        cache: Option<Arc<FibCache>>,
+    ) -> Simulation<F> {
         assert_eq!(
             fs.routers(),
             topo.num_switches(),
@@ -131,11 +178,18 @@ impl<F: Forwarding> Simulation<F> {
         let total_links = (base_down + num_servers) as usize;
         let mut rng = SmallRng::seed_from_u64(seed);
         let switch_salt = (0..topo.num_switches()).map(|_| rng.gen()).collect();
+        let edge_ends: Vec<(NodeId, NodeId)> = topo.graph.edges().to_vec();
+        let fast = cfg.datapath == Datapath::Fast;
+        let hot = if fast {
+            cache.or_else(|| fs.fib_cache(&edge_ends).map(Arc::new))
+        } else {
+            None
+        };
         Simulation {
             cfg,
             fs,
             server_switch,
-            edge_ends: topo.graph.edges().to_vec(),
+            edge_ends,
             queues: vec![LinkQueue::new(); total_links],
             base_up,
             base_down,
@@ -151,9 +205,30 @@ impl<F: Forwarding> Simulation<F> {
             seq: 0,
             now: 0,
             events: 0,
+            pkt_hops: 0,
             completed: 0,
             delivered_bytes: 0,
+            fast,
+            hot,
+            wheel: TimerWheel::new(),
+            staged: None,
+            cur_seq: 0,
+            out_scratch: TcpOutput::default(),
         }
+    }
+
+    /// Whether the fast datapath is forwarding through a FIB hot-cache
+    /// (as opposed to walking the forwarding plane per hop).
+    pub fn uses_fib_cache(&self) -> bool {
+        self.hot.is_some()
+    }
+
+    /// Packet-link offers processed so far (accepted or dropped). Unlike
+    /// [`SimReport::events`] this count is identical across datapaths and
+    /// schedulers, so benchmarks report datapath throughput in
+    /// packet-hops/sec.
+    pub fn pkt_hops(&self) -> u64 {
+        self.pkt_hops
     }
 
     /// Admits a flow of `bytes` from server `src` to server `dst`,
@@ -202,29 +277,48 @@ impl<F: Forwarding> Simulation<F> {
 
     /// Runs to completion (or `cfg.max_time_ns`) and reports.
     pub fn run(&mut self) -> SimReport {
-        while let Some((t, _seq, ev)) = self.queue.pop() {
+        while let Some((t, seq, ev)) = self.next_event() {
             if t > self.cfg.max_time_ns {
                 self.now = self.cfg.max_time_ns;
                 break;
             }
             self.now = t;
+            self.cur_seq = seq;
             self.events += 1;
             match ev {
                 Ev::FlowStart(f) => {
-                    let out = self.senders[f as usize].start(t);
-                    self.apply_tcp_output(f, out);
+                    let mut out = std::mem::take(&mut self.out_scratch);
+                    self.senders[f as usize].start_into(t, &mut out);
+                    self.apply_tcp_output(f, &out);
+                    self.out_scratch = out;
                 }
                 Ev::TxDone(link) => {
                     if let Some(pkt) = self.queues[link as usize].tx_done() {
                         let tx = self.cfg.tx_ns(pkt.size);
-                        self.push(self.now + tx, Ev::TxDone(link));
+                        if self.fast && !self.queues[link as usize].has_queued() {
+                            // Nothing behind the wire: elide the next
+                            // terminal TxDone, reserving its seq so the
+                            // (time, seq) stream matches the reference.
+                            self.seq += 1;
+                            self.queues[link as usize].pending_txdone =
+                                Some((self.now + tx, self.seq));
+                        } else {
+                            self.push(self.now + tx, Ev::TxDone(link));
+                        }
                         self.push(self.now + tx + self.link_delay(link), Ev::Arrive(link, pkt));
+                    } else {
+                        // Terminal TxDone: the reference datapath processes
+                        // these; the fast path never materializes one with
+                        // an empty queue behind it.
+                        debug_assert!(!self.fast, "fast path popped a terminal TxDone");
                     }
                 }
                 Ev::Arrive(link, pkt) => self.on_arrive(link, pkt),
                 Ev::Rto(f, gen) => {
-                    let out = self.senders[f as usize].on_timer(t, gen);
-                    self.apply_tcp_output(f, out);
+                    let mut out = std::mem::take(&mut self.out_scratch);
+                    self.senders[f as usize].on_timer_into(t, gen, &mut out);
+                    self.apply_tcp_output(f, &out);
+                    self.out_scratch = out;
                 }
             }
             if self.completed == self.specs.len() {
@@ -232,6 +326,22 @@ impl<F: Forwarding> Simulation<F> {
             }
         }
         self.report()
+    }
+
+    /// Pops the next event in global `(time, seq)` order, merging the
+    /// main event queue with the RTO timing wheel. The next queue event
+    /// is staged so its key can bound the wheel lookup — in the common
+    /// case (no timer due first) that bound check is a single comparison
+    /// against the wheel's cached minimum.
+    fn next_event(&mut self) -> Option<(Ns, u64, Ev)> {
+        if self.staged.is_none() {
+            self.staged = self.queue.pop();
+        }
+        let bound = self.staged.map_or((Ns::MAX, u64::MAX), |(t, s, _)| (t, s));
+        if let Some((t, s, flow, gen)) = self.wheel.pop_before(bound) {
+            return Some((t, s, Ev::Rto(flow, gen)));
+        }
+        self.staged.take()
     }
 
     /// Builds the report from current state (also used after early stop).
@@ -284,6 +394,33 @@ impl<F: Forwarding> Simulation<F> {
         self.queue.push(t, self.seq, ev);
     }
 
+    /// Pushes an event that already owns its `seq` (a materialized elided
+    /// `TxDone`), keeping the staged-event slot coherent: if the staged
+    /// event no longer has the smallest key, it goes back into the queue.
+    fn push_materialized(&mut self, t: Ns, seq: u64, ev: Ev) {
+        if let Some(&(st, ss, _)) = self.staged.as_ref() {
+            if (t, seq) < (st, ss) {
+                let (st, ss, sev) = self.staged.take().expect("just checked");
+                self.queue.push(st, ss, sev);
+            }
+        }
+        self.queue.push(t, seq, ev);
+    }
+
+    /// Lazily resolves `link`'s elided terminal `TxDone` if the reference
+    /// datapath would already have processed it: its `(time, seq)` key is
+    /// below the event being processed right now, so the wire has been
+    /// idle since then.
+    fn resolve_pending(&mut self, link: DirLinkId) {
+        let q = &mut self.queues[link as usize];
+        if let Some((pt, ps)) = q.pending_txdone {
+            if (pt, ps) < (self.now, self.cur_seq) {
+                q.pending_txdone = None;
+                q.go_idle();
+            }
+        }
+    }
+
     fn link_delay(&self, link: DirLinkId) -> Ns {
         if link < self.base_up {
             self.cfg.link_delay_ns
@@ -295,6 +432,12 @@ impl<F: Forwarding> Simulation<F> {
     /// Offers a packet to a directed link, scheduling wire events on start.
     /// Data packets pick up DCTCP ECN marks at congested queues.
     fn offer(&mut self, link: DirLinkId, mut pkt: Packet) {
+        self.pkt_hops += 1;
+        if self.fast {
+            // The port's busy flag must reflect the reference state before
+            // any decision reads it.
+            self.resolve_pending(link);
+        }
         let ecn = match self.cfg.transport {
             crate::types::Transport::Dctcp if !pkt.is_ack => {
                 Some(self.cfg.ecn_threshold_bytes.max(1))
@@ -313,10 +456,27 @@ impl<F: Forwarding> Simulation<F> {
         match self.queues[link as usize].offer(pkt, self.cfg.queue_bytes, ecn) {
             Offer::StartTx => {
                 let tx = self.cfg.tx_ns(pkt.size);
-                self.push(self.now + tx, Ev::TxDone(link));
+                if self.fast {
+                    // The queue behind a freshly started wire is empty, so
+                    // this TxDone would be terminal: elide it (reserving
+                    // its seq) until a packet actually queues behind.
+                    self.seq += 1;
+                    self.queues[link as usize].pending_txdone = Some((self.now + tx, self.seq));
+                } else {
+                    self.push(self.now + tx, Ev::TxDone(link));
+                }
                 self.push(self.now + tx + self.link_delay(link), Ev::Arrive(link, pkt));
             }
-            Offer::Queued | Offer::Dropped => {}
+            Offer::Queued => {
+                if let Some((pt, ps)) = self.queues[link as usize].pending_txdone.take() {
+                    // A packet now waits behind the wire, so the elided
+                    // terminal TxDone has real work to do: materialize it
+                    // at its reserved (time, seq) key. resolve_pending
+                    // guarantees the key is still ahead of the pop point.
+                    self.push_materialized(pt, ps, Ev::TxDone(link));
+                }
+            }
+            Offer::Dropped => {}
         }
     }
 
@@ -338,11 +498,40 @@ impl<F: Forwarding> Simulation<F> {
             return;
         }
         let router = self.fs.router_of(pkt.vnode);
+        if let Some(hot) = &self.hot {
+            // Hot path: one mix of the pre-combined hash base, one
+            // direct-indexed slot lookup, one modulo. `hash_base` already
+            // folds flow hash, flowlet and ACK salt (XOR commutes), so
+            // the hash is bit-identical to the reference expression.
+            let h = mix(pkt.hash_base ^ self.switch_salt[router as usize]);
+            let (nv, dir_link) = hot.next_hop(pkt.vnode, pkt.dst_router, h);
+            #[cfg(debug_assertions)]
+            {
+                let href = mix(
+                    self.flow_hash[pkt.flow as usize]
+                        ^ self.switch_salt[router as usize]
+                        ^ ((pkt.flowlet as u64) << 32)
+                        ^ if pkt.is_ack { ACK_SALT } else { 0 },
+                );
+                assert_eq!(h, href, "hash_base out of sync with flow/flowlet state");
+                let (rnv, redge) = self.fs.next_hop(pkt.vnode, pkt.dst_router, href);
+                let (a, _b) = self.edge_ends[redge as usize];
+                let rdir = if router == a { 0 } else { 1 };
+                assert_eq!(
+                    (nv, dir_link),
+                    (rnv, 2 * redge + rdir),
+                    "FIB hot-cache diverged from reference forwarding"
+                );
+            }
+            pkt.vnode = nv;
+            self.offer(dir_link, pkt);
+            return;
+        }
         let h = mix(
             self.flow_hash[pkt.flow as usize]
                 ^ self.switch_salt[router as usize]
                 ^ ((pkt.flowlet as u64) << 32)
-                ^ if pkt.is_ack { 0xA5A5_5A5A_DEAD_BEEF } else { 0 },
+                ^ if pkt.is_ack { ACK_SALT } else { 0 },
         );
         let (nv, edge) = self.fs.next_hop(pkt.vnode, pkt.dst_router, h);
         let (a, _b) = self.edge_ends[edge as usize];
@@ -355,14 +544,17 @@ impl<F: Forwarding> Simulation<F> {
     fn deliver(&mut self, pkt: Packet) {
         let f = pkt.flow as usize;
         if pkt.is_ack {
-            let out = self.senders[f].on_ack_ecn(
+            let mut out = std::mem::take(&mut self.out_scratch);
+            self.senders[f].on_ack_ecn_into(
                 self.now,
                 pkt.seq,
                 pkt.echo_ns,
                 pkt.echo_epoch,
                 pkt.ecn,
+                &mut out,
             );
-            self.apply_tcp_output(pkt.flow, out);
+            self.apply_tcp_output(pkt.flow, &out);
+            self.out_scratch = out;
         } else {
             self.delivered_bytes += pkt.size as u64;
             let cum = self.receivers[f].on_data(pkt.seq, pkt.size);
@@ -382,12 +574,17 @@ impl<F: Forwarding> Simulation<F> {
             );
             // DCTCP ECN echo: reflect the data packet's mark.
             ack.ecn = pkt.ecn;
+            // ACKs keep flowlet 0, so the pre-hashed key folds only the
+            // flow hash and the ACK salt.
+            ack.hash_base = self.flow_hash[f] ^ ACK_SALT;
             self.offer(self.base_up + pkt.dst_server, ack);
         }
     }
 
-    /// Turns a [`TcpOutput`] into packets and timers.
-    fn apply_tcp_output(&mut self, flow: FlowId, out: TcpOutput) {
+    /// Turns a [`TcpOutput`] into packets and timers. Borrows the output
+    /// so the engine's scratch buffer survives the call (fast datapath's
+    /// zero-allocation turnaround).
+    fn apply_tcp_output(&mut self, flow: FlowId, out: &TcpOutput) {
         let f = flow as usize;
         let spec = &self.specs[f];
         let (src, dst) = (spec.src, spec.dst);
@@ -416,10 +613,26 @@ impl<F: Forwarding> Simulation<F> {
                 epoch,
             );
             pkt.flowlet = self.flowlet_id[f];
+            pkt.hash_base = self.flow_hash[f] ^ ((pkt.flowlet as u64) << 32);
             self.offer(self.base_up + src, pkt);
         }
         if let Some((deadline, gen)) = out.set_timer {
-            self.push(deadline, Ev::Rto(flow, gen));
+            if self.fast {
+                // The wheel holds at most one live timer per flow: cancel
+                // the stale one eagerly (the reference path leaves it in
+                // the queue as a no-op event) and re-arm, consuming one
+                // insertion seq exactly as the reference `push` would, so
+                // the global (time, seq) streams stay aligned.
+                self.wheel.cancel(flow);
+                self.seq += 1;
+                self.wheel.insert(deadline, self.seq, flow, gen);
+            } else {
+                self.push(deadline, Ev::Rto(flow, gen));
+            }
+        } else if self.fast && out.completed {
+            // Completion bumped the timer generation without re-arming:
+            // drop the flow's pending RTO from the wheel.
+            self.wheel.cancel(flow);
         }
         if out.completed && self.fct[f].is_none() {
             self.fct[f] = Some(self.now - self.specs[f].start_ns);
@@ -722,6 +935,106 @@ mod tests {
     fn calendar_queue_matches_heap_on_dring_su2() {
         let t = DRing::uniform(6, 2, 24).build();
         assert_schedulers_agree(&t, RoutingScheme::ShortestUnion(2), 43);
+    }
+
+    /// Runs the same seeded workload on the fast and the reference
+    /// datapath and demands identical outcomes: per-flow FCT vector,
+    /// drops, delivered bytes, packet-hops, and the full per-link
+    /// transmitted-byte vector. `events` is deliberately excluded — the
+    /// reference path processes no-op events (terminal `TxDone`s, stale
+    /// RTOs) the fast path never materializes.
+    fn assert_datapaths_agree(topo: &Topology, scheme: RoutingScheme, cfg: SimConfig, seed: u64) {
+        let run = |datapath| {
+            let fs = ForwardingState::build(&topo.graph, scheme);
+            let cfg = SimConfig { datapath, ..cfg };
+            let mut s = Simulation::new(topo, fs, cfg, seed);
+            let n = topo.num_servers();
+            for i in 0..32 {
+                let src = (i * 5) % n;
+                let dst = (i * 13 + 3) % n;
+                if src != dst {
+                    let bytes = if i % 4 == 0 { 600_000 } else { 20_000 };
+                    s.add_flow(src, dst, bytes, (i as u64) * 700).unwrap();
+                }
+            }
+            let r = s.run();
+            let fcts: Vec<Option<Ns>> = r.flows.iter().map(|f| f.fct_ns).collect();
+            (fcts, r.dropped_packets, r.delivered_bytes, s.pkt_hops(), s.switch_link_tx_bytes())
+        };
+        let fast = run(Datapath::Fast);
+        let reference = run(Datapath::Reference);
+        assert_eq!(fast, reference);
+    }
+
+    #[test]
+    fn fast_datapath_matches_reference_on_leafspine_ecmp() {
+        let t = small_ls();
+        assert_datapaths_agree(&t, RoutingScheme::Ecmp, SimConfig::default(), 51);
+        assert_datapaths_agree(&t, RoutingScheme::Ecmp, SimConfig::default(), 52);
+    }
+
+    #[test]
+    fn fast_datapath_matches_reference_on_dring_su2() {
+        let t = DRing::uniform(6, 2, 24).build();
+        assert_datapaths_agree(&t, RoutingScheme::ShortestUnion(2), SimConfig::default(), 53);
+    }
+
+    #[test]
+    fn fast_datapath_matches_reference_under_dctcp_and_flowlets() {
+        // DCTCP stresses the ECN-marking path through `offer`; a tiny
+        // flowlet gap stresses the pre-hashed key (hash_base must re-fold
+        // the flowlet id on every burst).
+        let t = small_ls();
+        let cfg = SimConfig {
+            transport: crate::types::Transport::Dctcp,
+            flowlet_gap_ns: Some(10_000),
+            ..Default::default()
+        };
+        assert_datapaths_agree(&t, RoutingScheme::Ecmp, cfg, 54);
+    }
+
+    #[test]
+    fn fast_datapath_matches_reference_under_truncation() {
+        // Early stop exercises the staged-event/wheel interplay at the
+        // max_time boundary.
+        let t = small_ls();
+        let cfg = SimConfig { max_time_ns: 300_000, ..Default::default() };
+        assert_datapaths_agree(&t, RoutingScheme::Ecmp, cfg, 55);
+    }
+
+    #[test]
+    fn dual_plane_runs_fast_datapath_without_cache() {
+        // DualPlane exposes no FibCache: the fast datapath must fall back
+        // to per-hop walks (and still elide TxDones / use the wheel).
+        use spineless_routing::DualPlane;
+        let t = DRing::uniform(6, 2, 24).build();
+        let dual = DualPlane::by_path_count(&t.graph, 2, 4);
+        let sim = Simulation::new(&t, dual, SimConfig::default(), 21);
+        assert!(!sim.uses_fib_cache());
+        let fs = ForwardingState::build(&t.graph, RoutingScheme::Ecmp);
+        let sim = Simulation::new(&t, fs, SimConfig::default(), 21);
+        assert!(sim.uses_fib_cache());
+    }
+
+    #[test]
+    fn prewarmed_fib_cache_matches_inline_build() {
+        // `with_fib_cache` (benchmarks hoist the build) must not change
+        // outcomes relative to letting the constructor build it.
+        let t = small_ls();
+        let edges: Vec<(NodeId, NodeId)> = t.graph.edges().to_vec();
+        let run = |cache: Option<std::sync::Arc<FibCache>>| {
+            let fs = ForwardingState::build(&t.graph, RoutingScheme::Ecmp);
+            let mut s = Simulation::with_fib_cache(&t, fs, SimConfig::default(), 77, cache);
+            assert!(s.uses_fib_cache());
+            for i in 0..8 {
+                s.add_flow(i, 23 - i, 50_000, (i as u64) * 1000).unwrap();
+            }
+            let r = s.run();
+            (r.fcts(), r.events, r.dropped_packets)
+        };
+        let fs = ForwardingState::build(&t.graph, RoutingScheme::Ecmp);
+        let cache = std::sync::Arc::new(fs.fib_cache(&edges).unwrap());
+        assert_eq!(run(Some(cache)), run(None));
     }
 
     #[test]

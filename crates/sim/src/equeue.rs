@@ -163,7 +163,11 @@ impl<E> CalendarQueue<E> {
         // schedules into the past, but a clamped placement still dequeues
         // in correct (t, seq) order relative to everything pending.
         let d = self.day_of(t).max(self.day);
-        if d >= self.day + self.buckets.len() as u64 {
+        // Subtraction, not `day + len` — the sum wraps when `day` sits
+        // within `len` of `u64::MAX` (reachable with small shifts near
+        // `Ns::MAX`), which would misfile far-future events into the wheel.
+        // `d >= self.day` by the clamp above, so the difference is exact.
+        if d - self.day >= self.buckets.len() as u64 {
             self.overflow.push(Reverse(Entry { t, seq, ev }));
             return;
         }
@@ -211,9 +215,13 @@ impl<E> CalendarQueue<E> {
     /// Pulls overflow events that now fall inside the horizon into their
     /// wheel buckets.
     fn migrate_overflow(&mut self) {
-        let horizon = self.day + self.buckets.len() as u64;
+        // Same wrap hazard as in `push`: compare day *differences* against
+        // the horizon length. Overflow days are `>= self.day` whenever the
+        // wheel is positioned at or before them; `saturating_sub` keeps the
+        // comparison meaningful (difference 0 → migrate) either way.
+        let horizon_len = self.buckets.len() as u64;
         while let Some(Reverse(e)) = self.overflow.peek() {
-            if self.day_of(e.t) >= horizon {
+            if self.day_of(e.t).saturating_sub(self.day) >= horizon_len {
                 break;
             }
             let Reverse(e) = self.overflow.pop().expect("peeked");
@@ -237,6 +245,202 @@ impl<E> CalendarQueue<E> {
 impl<E> Default for CalendarQueue<E> {
     fn default() -> Self {
         CalendarQueue::new()
+    }
+}
+
+/// One pending timer in a [`TimerWheel`]: full `(t, seq)` ordering key,
+/// the owner key (the engine uses the flow id) and an opaque generation
+/// the owner uses to validate firings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct WheelEntry {
+    t: Ns,
+    seq: u64,
+    key: u32,
+    gen: u64,
+}
+
+/// Hierarchical timing wheel for coarse, cancellable timers — the fast
+/// path for TCP RTOs, which are armed and cancelled once per ACK but fire
+/// almost never.
+///
+/// Four levels of 64 buckets each, bucket widths `2^16` ns (≈ 65 µs) at
+/// level 0 growing by `2^6` per level, so the wheel spans ≈ 18 minutes of
+/// simulated time beyond the current anchor; rarer entries land in a
+/// linear overflow bucket. An entry is filed in the lowest level whose
+/// span contains it *relative to the anchor* (the last time bound the
+/// caller established), and each key holds at most one live entry —
+/// [`TimerWheel::cancel`] removes it eagerly via a per-key location map,
+/// so buckets never accumulate stale entries.
+///
+/// The wheel orders by the same total `(t, seq)` key as the event queues:
+/// [`TimerWheel::pop_before`] returns the earliest entry strictly below a
+/// bound, which is how the engine merges wheel-resident timers with the
+/// main event stream without perturbing the reference event order. The
+/// common case — no timer due before the next wire event — is one
+/// comparison against a cached lower bound of the wheel minimum;
+/// occupancy bitmasks (one `u64` per level) make the exact-minimum scan
+/// cheap when it is needed.
+///
+/// Two invariants make the circular bucket disambiguation sound: entries
+/// are always inserted at `t >=` the current anchor (clamped defensively),
+/// and an entry filed at level `l` satisfied `day(t) - day(anchor) < 64`
+/// at insert time; since the anchor only advances, the difference only
+/// shrinks, so at any instant every bucket holds entries of exactly one
+/// day and the circularly-first occupied bucket of a level holds that
+/// level's minimum.
+#[derive(Debug, Clone)]
+pub struct TimerWheel {
+    /// `levels * 64` wheel buckets, then one overflow bucket.
+    buckets: Vec<Vec<WheelEntry>>,
+    /// Bucket-occupancy bitmask per level.
+    occ: [u64; Self::LEVELS],
+    /// Per-key location: `(slot, index into the slot's Vec)`;
+    /// `slot == NO_SLOT` = no live entry.
+    loc: Vec<(u16, u32)>,
+    /// Monotonic time anchor: every live entry has `t >= anchor`.
+    anchor: Ns,
+    /// Lower bound on the minimum live `(t, seq)` key (exact after a
+    /// scan; may be stale-low after a cancel, never stale-high).
+    min_lb: (Ns, u64),
+    /// Live entries.
+    len: usize,
+}
+
+impl TimerWheel {
+    const LEVELS: usize = 4;
+    /// log2 bucket width at level 0; each level widens by `2^6`.
+    const BASE_SHIFT: u32 = 16;
+    const OVERFLOW_SLOT: usize = Self::LEVELS * 64;
+    const NO_SLOT: u16 = u16::MAX;
+
+    /// Creates an empty wheel.
+    pub fn new() -> TimerWheel {
+        TimerWheel {
+            buckets: (0..=Self::OVERFLOW_SLOT).map(|_| Vec::new()).collect(),
+            occ: [0; Self::LEVELS],
+            loc: Vec::new(),
+            anchor: 0,
+            min_lb: (Ns::MAX, u64::MAX),
+            len: 0,
+        }
+    }
+
+    /// Live timer count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no timers are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Arms a timer for `key`. `seq` must come from the caller's global
+    /// insertion sequence (the total order shared with the event queue);
+    /// `key` must not already hold a live entry (cancel first).
+    pub fn insert(&mut self, t: Ns, seq: u64, key: u32, gen: u64) {
+        if key as usize >= self.loc.len() {
+            self.loc.resize(key as usize + 1, (Self::NO_SLOT, 0));
+        }
+        debug_assert_eq!(self.loc[key as usize].0, Self::NO_SLOT, "key {key} already armed");
+        let mut slot = Self::OVERFLOW_SLOT;
+        for l in 0..Self::LEVELS {
+            let shift = Self::BASE_SHIFT + 6 * l as u32;
+            let a = self.anchor >> shift;
+            let d = (t >> shift).max(a);
+            if d - a < 64 {
+                slot = l * 64 + (d & 63) as usize;
+                self.occ[l] |= 1 << (d & 63);
+                break;
+            }
+        }
+        let b = &mut self.buckets[slot];
+        self.loc[key as usize] = (slot as u16, b.len() as u32);
+        b.push(WheelEntry { t, seq, key, gen });
+        self.min_lb = if self.len == 0 { (t, seq) } else { self.min_lb.min((t, seq)) };
+        self.len += 1;
+    }
+
+    /// Cancels `key`'s live timer, if any; returns whether one existed.
+    pub fn cancel(&mut self, key: u32) -> bool {
+        let Some(&(slot, idx)) = self.loc.get(key as usize) else { return false };
+        if slot == Self::NO_SLOT {
+            return false;
+        }
+        self.remove_at(slot as usize, idx as usize);
+        true
+    }
+
+    /// Removes and returns the earliest timer whose `(t, seq)` key is
+    /// strictly below `bound`, as `(t, seq, key, gen)`; `None` when no
+    /// timer is due. `bound.0` must be non-decreasing across calls (the
+    /// discrete-event contract — it is the key of the next queue event).
+    pub fn pop_before(&mut self, bound: (Ns, u64)) -> Option<(Ns, u64, u32, u64)> {
+        if self.len == 0 || self.min_lb >= bound {
+            return None;
+        }
+        // Exact-minimum scan: per level, the circularly-first occupied
+        // bucket from the anchor position holds the level minimum; compare
+        // across levels and the overflow bucket by full (t, seq) key.
+        let mut best: Option<((Ns, u64), usize, usize)> = None;
+        for l in 0..Self::LEVELS {
+            let occ = self.occ[l];
+            if occ == 0 {
+                continue;
+            }
+            let shift = Self::BASE_SHIFT + 6 * l as u32;
+            let start = ((self.anchor >> shift) & 63) as u32;
+            let j = occ.rotate_right(start).trailing_zeros();
+            let slot = l * 64 + ((start + j) & 63) as usize;
+            for (i, e) in self.buckets[slot].iter().enumerate() {
+                if best.is_none_or(|(k, _, _)| (e.t, e.seq) < k) {
+                    best = Some(((e.t, e.seq), slot, i));
+                }
+            }
+        }
+        for (i, e) in self.buckets[Self::OVERFLOW_SLOT].iter().enumerate() {
+            if best.is_none_or(|(k, _, _)| (e.t, e.seq) < k) {
+                best = Some(((e.t, e.seq), Self::OVERFLOW_SLOT, i));
+            }
+        }
+        let ((t, seq), slot, idx) = best.expect("len > 0");
+        self.min_lb = (t, seq); // exact now
+        if (t, seq) >= bound {
+            // Nothing due; remember how far time has provably advanced.
+            self.anchor = self.anchor.max(bound.0);
+            return None;
+        }
+        self.anchor = self.anchor.max(t);
+        let e = self.buckets[slot][idx];
+        self.remove_at(slot, idx);
+        Some((t, seq, e.key, e.gen))
+    }
+
+    /// Removes and returns the earliest timer unconditionally.
+    pub fn pop_earliest(&mut self) -> Option<(Ns, u64, u32, u64)> {
+        self.pop_before((Ns::MAX, u64::MAX))
+    }
+
+    /// Unlinks `buckets[slot][idx]`, patching the location map for the
+    /// entry `swap_remove` moved and the occupancy mask for emptied
+    /// buckets.
+    fn remove_at(&mut self, slot: usize, idx: usize) {
+        let b = &mut self.buckets[slot];
+        let gone = b.swap_remove(idx);
+        self.loc[gone.key as usize] = (Self::NO_SLOT, 0);
+        if let Some(moved) = b.get(idx) {
+            self.loc[moved.key as usize] = (slot as u16, idx as u32);
+        }
+        if b.is_empty() && slot < Self::OVERFLOW_SLOT {
+            self.occ[slot / 64] &= !(1u64 << (slot % 64));
+        }
+        self.len -= 1;
+    }
+}
+
+impl Default for TimerWheel {
+    fn default() -> Self {
+        TimerWheel::new()
     }
 }
 
@@ -406,6 +610,183 @@ mod tests {
                 .map(|i| (rng.gen_range(0..10_000_000u64), i))
                 .collect();
             cross_check(&batch, shift, buckets);
+        }
+    }
+
+    #[test]
+    fn extreme_times_near_ns_max_stay_sorted() {
+        // Regression: the horizon checks used `day + len`, which wraps when
+        // the wheel jumps to an overflow day within `len` of `u64::MAX`
+        // (small shifts make day ≈ t). The wrapped horizon then classified
+        // every overflow event as out-of-horizon forever and `pop` spun on
+        // an empty bucket. Pin the subtraction-based fix across the wrap
+        // boundary for several geometries, including shift 0 where
+        // day == t == u64::MAX exactly.
+        for (shift, buckets) in [(0u32, 2usize), (0, 8), (3, 4), (11, 2048)] {
+            let batch: Vec<(Ns, E)> = vec![
+                (1_000, 0),
+                (u64::MAX - 5, 1),
+                (u64::MAX, 2),
+                (u64::MAX - 1, 3),
+                (2_000, 4),
+                (u64::MAX, 5),
+            ];
+            cross_check(&batch, shift, buckets);
+        }
+    }
+
+    #[test]
+    fn extreme_interleaved_push_pop_near_ns_max() {
+        // Push-after-pop at the far edge: the wheel is already positioned
+        // at a huge day when new maximal-time events arrive.
+        let mut q: CalendarQueue<E> = CalendarQueue::with_geometry(1, 4);
+        q.push(10, 1, 0);
+        q.push(u64::MAX - 2, 2, 1);
+        assert_eq!(q.pop(), Some((10, 1, 0)));
+        // The wheel jumps to the overflow day near u64::MAX; these pushes
+        // land on and beyond it.
+        q.push(u64::MAX - 2, 3, 2);
+        q.push(u64::MAX, 4, 3);
+        assert_eq!(q.pop(), Some((u64::MAX - 2, 2, 1)));
+        assert_eq!(q.pop(), Some((u64::MAX - 2, 3, 2)));
+        assert_eq!(q.pop(), Some((u64::MAX, 4, 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    // ---- timer wheel ----
+
+    /// Reference model for the wheel: a sorted set of (t, seq, key, gen)
+    /// plus the same one-live-entry-per-key rule.
+    #[derive(Default)]
+    struct WheelModel {
+        set: std::collections::BTreeSet<(Ns, u64, u32, u64)>,
+        by_key: std::collections::HashMap<u32, (Ns, u64, u32, u64)>,
+    }
+
+    impl WheelModel {
+        fn insert(&mut self, t: Ns, seq: u64, key: u32, gen: u64) {
+            assert!(!self.by_key.contains_key(&key));
+            self.set.insert((t, seq, key, gen));
+            self.by_key.insert(key, (t, seq, key, gen));
+        }
+        fn cancel(&mut self, key: u32) -> bool {
+            match self.by_key.remove(&key) {
+                Some(e) => {
+                    self.set.remove(&e);
+                    true
+                }
+                None => false,
+            }
+        }
+        fn pop_before(&mut self, bound: (Ns, u64)) -> Option<(Ns, u64, u32, u64)> {
+            let &e = self.set.first()?;
+            if (e.0, e.1) >= bound {
+                return None;
+            }
+            self.set.remove(&e);
+            self.by_key.remove(&e.2);
+            Some(e)
+        }
+    }
+
+    #[test]
+    fn wheel_single_timer_roundtrip() {
+        let mut w = TimerWheel::new();
+        assert!(w.is_empty());
+        assert_eq!(w.pop_earliest(), None);
+        w.insert(1_000_000, 5, 3, 17);
+        assert_eq!(w.len(), 1);
+        // Not due before its own key.
+        assert_eq!(w.pop_before((1_000_000, 5)), None);
+        assert_eq!(w.pop_before((1_000_000, 6)), Some((1_000_000, 5, 3, 17)));
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn wheel_cancel_then_rearm() {
+        let mut w = TimerWheel::new();
+        w.insert(1_000_000, 1, 0, 1);
+        assert!(w.cancel(0));
+        assert!(!w.cancel(0), "double cancel");
+        assert!(!w.cancel(99), "unknown key");
+        w.insert(2_000_000, 2, 0, 2);
+        assert_eq!(w.pop_earliest(), Some((2_000_000, 2, 0, 2)));
+        assert_eq!(w.pop_earliest(), None);
+    }
+
+    #[test]
+    fn wheel_spans_all_levels_and_overflow() {
+        // One timer per level span plus one beyond the whole wheel
+        // (> 2^40 ns): all must drain in (t, seq) order.
+        let mut w = TimerWheel::new();
+        let times = [
+            40_000u64,            // level 0
+            10_000_000,           // level 1 (10 ms)
+            1_000_000_000,        // level 2 (1 s)
+            60_000_000_000,       // level 3 (1 min)
+            5_000_000_000_000,    // overflow (~83 min)
+        ];
+        for (i, &t) in times.iter().enumerate() {
+            w.insert(t, i as u64, i as u32, 0);
+        }
+        for (i, &t) in times.iter().enumerate() {
+            assert_eq!(w.pop_earliest(), Some((t, i as u64, i as u32, 0)));
+        }
+        assert_eq!(w.pop_earliest(), None);
+    }
+
+    #[test]
+    fn wheel_matches_model_under_rto_like_traffic() {
+        // The engine's exact usage pattern: monotonic now, per-key
+        // cancel + re-arm on most steps, occasional pops of due timers.
+        let mut w = TimerWheel::new();
+        let mut m = WheelModel::default();
+        let mut rng = SmallRng::seed_from_u64(0xCAFE);
+        let mut now = 0u64;
+        let mut seq = 0u64;
+        for step in 0..20_000u64 {
+            now += rng.gen_range(0..80_000);
+            // Everything due strictly before (now, step-scoped seq) fires,
+            // in lockstep with the model.
+            loop {
+                let a = w.pop_before((now, 0));
+                let b = m.pop_before((now, 0));
+                assert_eq!(a, b, "step {step}");
+                if a.is_none() {
+                    break;
+                }
+            }
+            let key = rng.gen_range(0..64u32);
+            match rng.gen_range(0..10u32) {
+                0..=6 => {
+                    // Re-arm: cancel + insert, like an ACK re-arming an RTO.
+                    let had_w = w.cancel(key);
+                    let had_m = m.cancel(key);
+                    assert_eq!(had_w, had_m);
+                    seq += 1;
+                    let dt = if rng.gen_bool(0.02) {
+                        rng.gen_range(0..5_000_000_000_000u64) // deep future
+                    } else {
+                        1_000_000 + rng.gen_range(0..300_000_000) // RTO-ish
+                    };
+                    w.insert(now + dt, seq, key, seq);
+                    m.insert(now + dt, seq, key, seq);
+                }
+                7..=8 => {
+                    assert_eq!(w.cancel(key), m.cancel(key));
+                }
+                _ => {}
+            }
+            assert_eq!(w.len(), m.set.len());
+        }
+        // Drain what remains.
+        loop {
+            let a = w.pop_earliest();
+            let b = m.pop_before((Ns::MAX, u64::MAX));
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
         }
     }
 

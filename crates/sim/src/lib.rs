@@ -36,5 +36,5 @@ pub mod tcp;
 pub mod types;
 
 pub use engine::Simulation;
-pub use equeue::{CalendarQueue, EventQueue, HeapQueue};
-pub use types::{FlowId, FlowRecord, Scheduler, SimConfig, SimReport};
+pub use equeue::{CalendarQueue, EventQueue, HeapQueue, TimerWheel};
+pub use types::{Datapath, FlowId, FlowRecord, Scheduler, SimConfig, SimReport};

@@ -6,6 +6,7 @@
 //! htsim uses.
 
 use crate::packet::Packet;
+use crate::types::Ns;
 use std::collections::VecDeque;
 
 /// State of one directed link's output port.
@@ -17,6 +18,14 @@ pub struct LinkQueue {
     queued_bytes: u64,
     /// `true` while a packet is on the wire.
     busy: bool,
+    /// Fast datapath only: the `(time, seq)` key of this link's *elided*
+    /// terminal `TxDone` event. When a transmission starts with an empty
+    /// queue behind it, the engine reserves the event's sequence number
+    /// here instead of scheduling it; the event is materialized (with this
+    /// exact key) only if a packet queues up behind the wire, and resolved
+    /// lazily to an idle transition otherwise. `None` in the reference
+    /// datapath and whenever a real `TxDone` event is pending.
+    pub(crate) pending_txdone: Option<(Ns, u64)>,
     /// Packets dropped at this queue.
     pub drops: u64,
     /// Total bytes ever accepted for transmission (utilization accounting).
@@ -85,6 +94,21 @@ impl LinkQueue {
                 None
             }
         }
+    }
+
+    /// Fast datapath: resolves an elided terminal `TxDone` — the wire
+    /// finished with nothing queued behind it, so the port simply goes
+    /// idle. Exactly the `tx_done() == None` transition of the reference
+    /// path, without the event round-trip.
+    pub(crate) fn go_idle(&mut self) {
+        debug_assert!(self.busy && self.queue.is_empty());
+        self.busy = false;
+    }
+
+    /// Whether any packet waits behind the wire (the in-flight packet,
+    /// if any, does not count).
+    pub fn has_queued(&self) -> bool {
+        !self.queue.is_empty()
     }
 
     /// Bytes waiting behind the wire (not counting the in-flight packet).

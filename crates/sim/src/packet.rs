@@ -41,6 +41,13 @@ pub struct Packet {
     /// ECN congestion-experienced mark (data: set by queues above the
     /// DCTCP threshold; ACK: the echoed mark).
     pub ecn: bool,
+    /// Pre-hashed ECMP key: `flow_hash ^ (flowlet << 32) ^ ack_salt`,
+    /// stamped by the engine once per packet so each hop's hash is one
+    /// `mix(hash_base ^ switch_salt)` instead of re-assembling the inputs.
+    /// XOR commutes, so the per-hop hash is bit-identical to the reference
+    /// computation. Constructors set 0; the engine fills it after flowlet
+    /// assignment.
+    pub hash_base: u64,
 }
 
 impl Packet {
@@ -68,6 +75,7 @@ impl Packet {
             echo_epoch,
             flowlet: 0,
             ecn: false,
+            hash_base: 0,
         }
     }
 
@@ -95,6 +103,7 @@ impl Packet {
             echo_epoch,
             flowlet: 0,
             ecn: false,
+            hash_base: 0,
         }
     }
 }

@@ -40,6 +40,17 @@ pub struct TcpOutput {
     pub completed: bool,
 }
 
+impl TcpOutput {
+    /// Resets to the empty output, keeping the `send` allocation — the
+    /// engine's fast datapath reuses one scratch `TcpOutput` across all
+    /// TCP inputs so the steady-state loop allocates nothing.
+    pub fn clear(&mut self) {
+        self.send.clear();
+        self.set_timer = None;
+        self.completed = false;
+    }
+}
+
 /// NewReno sender for one flow.
 #[derive(Debug, Clone)]
 pub struct TcpSender {
@@ -161,9 +172,16 @@ impl TcpSender {
     /// Opens the flow: emits the initial window and arms the RTO.
     pub fn start(&mut self, now: Ns) -> TcpOutput {
         let mut out = TcpOutput::default();
-        self.fill_window(&mut out);
-        self.arm_timer(now, &mut out);
+        self.start_into(now, &mut out);
         out
+    }
+
+    /// [`start`](Self::start) writing into a caller-owned scratch output
+    /// (cleared first) so the hot loop reuses one allocation.
+    pub fn start_into(&mut self, now: Ns, out: &mut TcpOutput) {
+        out.clear();
+        self.fill_window(out);
+        self.arm_timer(now, out);
     }
 
     /// Processes a cumulative ACK for all bytes `< ack`. `echo_ns` and
@@ -182,8 +200,24 @@ impl TcpSender {
         ece: bool,
     ) -> TcpOutput {
         let mut out = TcpOutput::default();
+        self.on_ack_ecn_into(now, ack, echo_ns, echo_epoch, ece, &mut out);
+        out
+    }
+
+    /// [`on_ack_ecn`](Self::on_ack_ecn) writing into a caller-owned scratch
+    /// output (cleared first) so the hot loop reuses one allocation.
+    pub fn on_ack_ecn_into(
+        &mut self,
+        now: Ns,
+        ack: u64,
+        echo_ns: Ns,
+        echo_epoch: u32,
+        ece: bool,
+        out: &mut TcpOutput,
+    ) {
+        out.clear();
         if self.completed {
-            return out;
+            return;
         }
         if ack > self.cum_acked {
             let newly = ack - self.cum_acked;
@@ -210,7 +244,7 @@ impl TcpSender {
                 } else {
                     // Partial ACK: the next hole is lost too — retransmit
                     // it immediately (NewReno), stay in recovery.
-                    self.retransmit_hole(&mut out);
+                    self.retransmit_hole(out);
                 }
             } else {
                 self.dup_acks = 0;
@@ -225,10 +259,10 @@ impl TcpSender {
                 self.completed = true;
                 out.completed = true;
                 self.timer_gen += 1; // cancel pending RTO
-                return out;
+                return;
             }
-            self.fill_window(&mut out);
-            self.arm_timer(now, &mut out);
+            self.fill_window(out);
+            self.arm_timer(now, out);
         } else if ack == self.cum_acked {
             self.dup_acks += 1;
             if !self.in_recovery && self.dup_acks == 3 {
@@ -238,23 +272,30 @@ impl TcpSender {
                 self.in_recovery = true;
                 self.recover = self.next_seq;
                 self.rtx_epoch += 1;
-                self.retransmit_hole(&mut out);
-                self.arm_timer(now, &mut out);
+                self.retransmit_hole(out);
+                self.arm_timer(now, out);
             } else if self.in_recovery {
                 // Window inflation lets new data out during recovery.
                 self.cwnd += 1.0;
-                self.fill_window(&mut out);
+                self.fill_window(out);
             }
         }
-        out
     }
 
     /// Processes an RTO timer firing with generation `gen`; stale
     /// generations are ignored.
     pub fn on_timer(&mut self, now: Ns, gen: u64) -> TcpOutput {
         let mut out = TcpOutput::default();
+        self.on_timer_into(now, gen, &mut out);
+        out
+    }
+
+    /// [`on_timer`](Self::on_timer) writing into a caller-owned scratch
+    /// output (cleared first) so the hot loop reuses one allocation.
+    pub fn on_timer_into(&mut self, now: Ns, gen: u64, out: &mut TcpOutput) {
+        out.clear();
         if self.completed || gen != self.timer_gen {
-            return out;
+            return;
         }
         self.timeouts += 1;
         self.rtx_epoch += 1;
@@ -263,9 +304,14 @@ impl TcpSender {
         self.in_recovery = false;
         self.dup_acks = 0;
         self.backoff = (self.backoff + 1).min(8);
-        self.retransmit_hole(&mut out);
-        self.arm_timer(now, &mut out);
-        out
+        self.retransmit_hole(out);
+        self.arm_timer(now, out);
+    }
+
+    /// Current RTO timer generation; the engine's timing wheel keys its
+    /// cancellations on this.
+    pub fn timer_gen(&self) -> u64 {
+        self.timer_gen
     }
 
     /// Sends as much new data as the window allows.
@@ -366,6 +412,14 @@ impl TcpReceiver {
         self.received_bytes += size as u64;
         let end = seq + size as u64;
         if end > self.expected {
+            // In-order fast path: nothing buffered, segment extends the
+            // edge directly — skip the reassembly map entirely. (With an
+            // empty map the general path below inserts and immediately
+            // drains the same single range, so this is behaviour-neutral.)
+            if seq <= self.expected && self.ooo.is_empty() {
+                self.expected = end;
+                return self.expected;
+            }
             // Record the (possibly partially new) range.
             let start = seq.max(self.expected);
             let e = self.ooo.entry(start).or_insert(start);

@@ -55,6 +55,15 @@ pub struct SimConfig {
     /// order is a total order on `(time, insertion seq)`, so every
     /// scheduler produces byte-identical results.
     pub scheduler: Scheduler,
+    /// Per-packet datapath implementation. Also purely a performance knob:
+    /// the fast datapath (flat FIB hot-cache, RTO timer wheel, elided
+    /// terminal `TxDone` events, reused TCP scratch) produces outcomes —
+    /// FCTs, drops, delivered bytes, per-link tx bytes — byte-identical to
+    /// the reference datapath; only [`SimReport::events`] may differ, since
+    /// the reference path processes no-op events (stale RTOs, terminal
+    /// `TxDone`s) that the fast path never materializes.
+    #[serde(default)]
+    pub datapath: Datapath,
 }
 
 /// Which event-scheduler implementation the engine uses.
@@ -66,6 +75,20 @@ pub enum Scheduler {
     /// Binary min-heap — the reference implementation, kept for
     /// determinism cross-checks against the calendar queue.
     ReferenceHeap,
+}
+
+/// Which per-packet datapath the engine uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Datapath {
+    /// Hot-path implementation: direct-indexed FIB cache, hierarchical
+    /// timer wheel for RTOs, terminal-`TxDone` elision, zero-allocation
+    /// TCP turnaround — the default.
+    #[default]
+    Fast,
+    /// The original per-packet code path (CSR DAG walk per hop, every
+    /// timer and `TxDone` through the event queue, fresh `TcpOutput` per
+    /// input), kept as the bit-exactness reference.
+    Reference,
 }
 
 /// Congestion-control algorithm for every flow of a simulation.
@@ -94,6 +117,7 @@ impl Default for SimConfig {
             transport: Transport::NewReno,
             ecn_threshold_bytes: 30_000, // 20 packets
             scheduler: Scheduler::Calendar,
+            datapath: Datapath::Fast,
         }
     }
 }

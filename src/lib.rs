@@ -52,7 +52,7 @@ pub mod prelude {
     pub use spineless_core::topos::{EvalTopos, Scale};
     pub use spineless_fluid::solve as fluid_solve;
     pub use spineless_routing::{ForwardingState, RoutingScheme, VrfGraph};
-    pub use spineless_sim::{Scheduler, SimConfig, SimReport, Simulation};
+    pub use spineless_sim::{Datapath, Scheduler, SimConfig, SimReport, Simulation};
     pub use spineless_topo::dring::DRing;
     pub use spineless_topo::leafspine::LeafSpine;
     pub use spineless_topo::rrg::Rrg;

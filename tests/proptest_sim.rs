@@ -42,6 +42,42 @@ fn topo_and_flows() -> impl Strategy<Value = (Topology, RoutingScheme, RandomFlo
     })
 }
 
+/// Strategy for the datapath-equivalence tests: the ISSUE's random
+/// DRing/RRG (plus leaf-spine for the pure-ECMP plane) with random flows
+/// and transport knobs. Kept separate from [`topo_and_flows`] because RRGs
+/// at this size are occasionally disconnected — the datapath tests skip
+/// unreachable flows identically on both runs, while the fluid tests
+/// assume full reachability.
+fn datapath_topo_and_flows(
+) -> impl Strategy<Value = (Topology, RoutingScheme, RandomFlows, bool, bool)> {
+    (0u8..3, any::<u64>(), 1usize..24, any::<bool>(), any::<bool>()).prop_map(
+        |(kind, seed, nflows, dctcp, flowlets)| {
+            use rand::rngs::SmallRng;
+            use rand::{Rng, SeedableRng};
+            let (topo, scheme) = match kind {
+                0 => (DRing::uniform(6, 2, 24).build(), RoutingScheme::ShortestUnion(2)),
+                1 => (Rrg::uniform(8, 3, 2, 5, seed).build(), RoutingScheme::ShortestUnion(2)),
+                _ => (LeafSpine::new(6, 2).build(), RoutingScheme::Ecmp),
+            };
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0xDA7A);
+            let n = topo.num_servers();
+            let flows: RandomFlows = (0..nflows)
+                .map(|_| {
+                    let src = rng.gen_range(0..n);
+                    let dst = loop {
+                        let d = rng.gen_range(0..n);
+                        if d != src {
+                            break d;
+                        }
+                    };
+                    (src, dst, rng.gen_range(1..200_000u64), rng.gen_range(0..500_000u64))
+                })
+                .collect();
+            (topo, scheme, flows, dctcp, flowlets)
+        },
+    )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -188,6 +224,145 @@ proptest! {
             (r.fcts(), r.events, r.dropped_packets, r.delivered_bytes)
         };
         prop_assert_eq!(run(Scheduler::Calendar), run(Scheduler::ReferenceHeap));
+    }
+
+    /// Whole-simulation datapath equivalence: the fast per-packet path
+    /// (flat FIB hot-cache, RTO timer wheel, terminal-TxDone elision,
+    /// zero-alloc TCP turnaround) and the retained reference path produce
+    /// identical physics on random DRing/RRG/leaf-spine workloads under
+    /// both transports and with/without flowlet switching — FCTs, drops,
+    /// delivered bytes, packet-hops, and per-link tx bytes all byte-equal.
+    /// `SimReport::events` is deliberately excluded: elided terminal
+    /// TxDones mean the fast path processes fewer events by design.
+    #[test]
+    fn datapaths_agree_on_random_workloads(
+        (topo, scheme, flows, dctcp, flowlets) in datapath_topo_and_flows()
+    ) {
+        use spineless::sim::types::Transport;
+        let run = |datapath| {
+            let fs = ForwardingState::build(&topo.graph, scheme);
+            let cfg = SimConfig {
+                datapath,
+                transport: if dctcp { Transport::Dctcp } else { Transport::NewReno },
+                flowlet_gap_ns: if flowlets { Some(10_000) } else { None },
+                ..Default::default()
+            };
+            let mut sim = Simulation::new(&topo, fs, cfg, 5);
+            for &(s, d, b, t) in &flows {
+                // RRGs can be disconnected; rejected flows are rejected
+                // identically on both runs.
+                let _ = sim.add_flow(s, d, b, t);
+            }
+            let r = sim.run();
+            let hops = sim.pkt_hops();
+            let tx = sim.switch_link_tx_bytes();
+            (r.fcts(), r.dropped_packets, r.delivered_bytes, hops, tx)
+        };
+        prop_assert_eq!(run(Datapath::Fast), run(Datapath::Reference));
+    }
+
+    /// Datapath equivalence under truncation: a hard `max_time_ns` stop
+    /// leaves both paths with the identical set of finished/unfinished
+    /// flows and identical partial byte counts.
+    #[test]
+    fn datapaths_agree_under_truncation(
+        (topo, scheme, flows, dctcp, flowlets) in datapath_topo_and_flows(),
+        horizon in 50_000u64..2_000_000
+    ) {
+        use spineless::sim::types::Transport;
+        let run = |datapath| {
+            let fs = ForwardingState::build(&topo.graph, scheme);
+            let cfg = SimConfig {
+                datapath,
+                max_time_ns: horizon,
+                transport: if dctcp { Transport::Dctcp } else { Transport::NewReno },
+                flowlet_gap_ns: if flowlets { Some(10_000) } else { None },
+                ..Default::default()
+            };
+            let mut sim = Simulation::new(&topo, fs, cfg, 5);
+            for &(s, d, b, t) in &flows {
+                let _ = sim.add_flow(s, d, b, t);
+            }
+            let r = sim.run();
+            let hops = sim.pkt_hops();
+            let tx = sim.switch_link_tx_bytes();
+            (r.fcts(), r.unfinished(), r.dropped_packets, r.delivered_bytes, hops, tx)
+        };
+        prop_assert_eq!(run(Datapath::Fast), run(Datapath::Reference));
+    }
+
+    /// The RTO timer wheel against a sorted-set model: arbitrary
+    /// interleavings of (re-)arms, cancels, and bounded sweeps drain in
+    /// exact `(time, seq)` order with the right `(key, gen)` payloads,
+    /// across all wheel levels and the overflow bucket.
+    #[test]
+    fn timer_wheel_matches_sorted_model(seed in any::<u64>(), nops in 1usize..300) {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        use spineless::sim::TimerWheel;
+        use std::collections::BTreeSet;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut wheel = TimerWheel::new();
+        let mut model: BTreeSet<(u64, u64, u32, u64)> = BTreeSet::new();
+        // key -> live (t, seq, gen), mirroring the engine's one-timer-per-
+        // flow discipline (re-arm cancels first).
+        let mut armed: Vec<Option<(u64, u64, u64)>> = vec![None; 8];
+        let mut seq = 0u64;
+        let mut lo = 0u64; // inserts stay >= the last sweep bound, like real time
+        for _ in 0..nops {
+            let key = rng.gen_range(0..8u32);
+            match rng.gen_range(0..6u32) {
+                0..=2 => {
+                    if let Some((t, s, g)) = armed[key as usize].take() {
+                        prop_assert!(wheel.cancel(key));
+                        model.remove(&(t, s, key, g));
+                    }
+                    seq += 1;
+                    let dt = match rng.gen_range(0..4u32) {
+                        0 => rng.gen_range(0..1u64 << 16),  // level 0
+                        1 => rng.gen_range(0..1u64 << 22),  // level 1
+                        2 => rng.gen_range(0..1u64 << 40),  // deep levels
+                        _ => 1u64 << 46,                    // overflow bucket
+                    };
+                    let t = lo + dt;
+                    let gen = rng.gen();
+                    wheel.insert(t, seq, key, gen);
+                    model.insert((t, seq, key, gen));
+                    armed[key as usize] = Some((t, seq, gen));
+                }
+                3 | 4 => {
+                    let had = armed[key as usize].take();
+                    prop_assert_eq!(wheel.cancel(key), had.is_some());
+                    if let Some((t, s, g)) = had {
+                        model.remove(&(t, s, key, g));
+                    }
+                }
+                _ => {
+                    // Bounded sweep, as the engine merges wheel timers
+                    // into the event stream.
+                    let bound = (lo + rng.gen_range(0..1u64 << 24), rng.gen());
+                    while let Some(fired) = wheel.pop_before(bound) {
+                        let expected = *model.iter().next().expect("model has an entry");
+                        prop_assert_eq!(fired, expected);
+                        prop_assert!((fired.0, fired.1) < bound);
+                        model.remove(&expected);
+                        armed[fired.2 as usize] = None;
+                    }
+                    if let Some(first) = model.iter().next() {
+                        prop_assert!((first.0, first.1) >= bound);
+                    }
+                    lo = bound.0;
+                }
+            }
+        }
+        // Full drain: what's left comes out in exact sorted order.
+        while let Some(fired) = wheel.pop_earliest() {
+            let expected = *model.iter().next().expect("model has an entry");
+            prop_assert_eq!(fired, expected);
+            model.remove(&expected);
+        }
+        prop_assert!(model.is_empty());
+        prop_assert!(wheel.is_empty());
     }
 
     /// The active-list max-min solver is bit-identical to the full-scan
