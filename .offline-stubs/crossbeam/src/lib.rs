@@ -1,5 +1,11 @@
-//! Typecheck-only stub of `crossbeam` scoped threads. `scope` has the real
-//! signature but never runs the spawned closures.
+//! Behavioral offline stand-in for `crossbeam` scoped threads.
+//!
+//! `spawn` runs the closure *inline* (sequentially, on the calling
+//! thread) and `join` hands back its result. That loses parallelism but
+//! preserves semantics for this workspace's usage pattern: workers pull
+//! indices from an atomic dispenser, so the first spawned closure simply
+//! drains the whole queue and the rest find it empty — results are
+//! identical to any true interleaving.
 
 pub mod thread {
     use std::marker::PhantomData;
@@ -9,22 +15,23 @@ pub mod thread {
     }
 
     pub struct ScopedJoinHandle<'scope, T> {
-        _marker: PhantomData<(&'scope (), T)>,
+        result: T,
+        _marker: PhantomData<&'scope ()>,
     }
 
     impl<'scope, T> ScopedJoinHandle<'scope, T> {
         pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
-            unimplemented!("stub crossbeam: join never runs")
+            Ok(self.result)
         }
     }
 
     impl<'env> Scope<'env> {
-        pub fn spawn<'scope, F, T>(&'scope self, _f: F) -> ScopedJoinHandle<'scope, T>
+        pub fn spawn<'scope, F, T>(&'scope self, f: F) -> ScopedJoinHandle<'scope, T>
         where
             F: FnOnce(&Scope<'env>) -> T + Send + 'env,
             T: Send + 'env,
         {
-            ScopedJoinHandle { _marker: PhantomData }
+            ScopedJoinHandle { result: f(self), _marker: PhantomData }
         }
     }
 

@@ -1,13 +1,56 @@
-//! Typecheck-only stub of `proptest`. The `proptest!` macro expands each
-//! property into a plain `#[test]` whose body *typechecks* against values
-//! conjured from the strategies via `strategy_value` (which panics at
-//! runtime — these tests are never meant to run against the stub).
+//! Behavioral offline stand-in for `proptest` (the API subset this
+//! workspace uses).
+//!
+//! The `proptest!` macro expands each property into a plain `#[test]`
+//! that *runs* the configured number of cases against inputs drawn from
+//! the strategies with a deterministic per-test PRNG. No shrinking — a
+//! failing case panics with the strategy inputs left opaque — but the
+//! properties themselves execute for real, which is the point on
+//! machines with no crates registry.
 
-use std::marker::PhantomData;
 use std::ops::{Range, RangeInclusive};
+
+/// Deterministic splitmix64 generator seeded from the test name, so runs
+/// are reproducible without any environment setup.
+#[derive(Debug, Clone)]
+pub struct GenRng(u64);
+
+impl GenRng {
+    pub fn for_test(name: &str) -> GenRng {
+        // FNV-1a over the name, folded into a fixed session constant.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        GenRng(h ^ 0x5EED_5EED_5EED_5EED)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A case outcome the `proptest!` runner understands; `Reject` is what
+/// `prop_assume!` returns (the case is skipped, not failed).
+#[derive(Debug)]
+pub enum TestCaseError {
+    Reject,
+}
 
 pub trait Strategy {
     type Value;
+
+    /// Draws one value; `None` is a rejection (e.g. a filter miss) and
+    /// makes the runner retry with fresh randomness.
+    fn generate(&self, rng: &mut GenRng) -> Option<Self::Value>;
 
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
@@ -34,7 +77,6 @@ pub trait Strategy {
     }
 }
 
-#[allow(dead_code)]
 pub struct Map<S, F> {
     inner: S,
     f: F,
@@ -42,9 +84,12 @@ pub struct Map<S, F> {
 
 impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
     type Value = O;
+
+    fn generate(&self, rng: &mut GenRng) -> Option<O> {
+        self.inner.generate(rng).map(&self.f)
+    }
 }
 
-#[allow(dead_code)]
 pub struct Filter<S, F> {
     inner: S,
     f: F,
@@ -52,9 +97,12 @@ pub struct Filter<S, F> {
 
 impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
     type Value = S::Value;
+
+    fn generate(&self, rng: &mut GenRng) -> Option<S::Value> {
+        self.inner.generate(rng).filter(|v| (self.f)(v))
+    }
 }
 
-#[allow(dead_code)]
 pub struct FlatMap<S, F> {
     inner: S,
     f: F,
@@ -62,50 +110,104 @@ pub struct FlatMap<S, F> {
 
 impl<S: Strategy, O: Strategy, F: Fn(S::Value) -> O> Strategy for FlatMap<S, F> {
     type Value = O::Value;
+
+    fn generate(&self, rng: &mut GenRng) -> Option<O::Value> {
+        (self.f)(self.inner.generate(rng)?).generate(rng)
+    }
 }
 
-pub struct Any<T>(PhantomData<T>);
-
-impl<T> Strategy for Any<T> {
-    type Value = T;
-}
+pub struct Any<T>(std::marker::PhantomData<T>);
 
 pub fn any<T>() -> Any<T> {
-    Any(PhantomData)
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {
+        $(impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut GenRng) -> Option<$t> {
+                Some(rng.next_u64() as $t)
+            }
+        })*
+    };
+}
+impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut GenRng) -> Option<bool> {
+        Some(rng.next_u64() & 1 == 1)
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut GenRng) -> Option<f64> {
+        Some(rng.unit_f64())
+    }
 }
 
 pub struct Just<T>(pub T);
 
 impl<T: Clone> Strategy for Just<T> {
     type Value = T;
+    fn generate(&self, _rng: &mut GenRng) -> Option<T> {
+        Some(self.0.clone())
+    }
 }
 
-impl<T> Strategy for Range<T> {
-    type Value = T;
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut GenRng) -> Option<$t> {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let lo = self.start as i128;
+                    let span = (self.end as i128 - lo) as u128;
+                    Some((lo + (rng.next_u64() as u128 % span) as i128) as $t)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut GenRng) -> Option<$t> {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty strategy range");
+                    let lo = start as i128;
+                    let span = (end as i128 - lo) as u128 + 1;
+                    Some((lo + (rng.next_u64() as u128 % span) as i128) as $t)
+                }
+            }
+        )*
+    };
 }
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
-impl<T> Strategy for RangeInclusive<T> {
-    type Value = T;
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut GenRng) -> Option<f64> {
+        assert!(self.start < self.end, "empty strategy range");
+        Some(self.start + rng.unit_f64() * (self.end - self.start))
+    }
 }
 
 macro_rules! impl_tuple_strategy {
-    ($($name:ident),+) => {
+    ($($name:ident : $idx:tt),+) => {
         impl<$($name: Strategy),+> Strategy for ($($name,)+) {
             type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut GenRng) -> Option<Self::Value> {
+                Some(($(self.$idx.generate(rng)?,)+))
+            }
         }
     };
 }
-impl_tuple_strategy!(A);
-impl_tuple_strategy!(A, B);
-impl_tuple_strategy!(A, B, C);
-impl_tuple_strategy!(A, B, C, D);
-impl_tuple_strategy!(A, B, C, D, E);
-impl_tuple_strategy!(A, B, C, D, E, G);
-
-/// Conjures a `Value` for typechecking; panics if ever executed.
-pub fn strategy_value<S: Strategy>(_s: &S) -> S::Value {
-    unimplemented!("proptest stub: properties cannot run without the real crate")
-}
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, G: 5);
 
 pub struct ProptestConfig {
     pub cases: u32,
@@ -120,19 +222,48 @@ impl ProptestConfig {
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
-        $crate::proptest! { $($rest)* }
+        $crate::__proptest_cases! { ($cfg) $($rest)* }
     };
-    ($($(#[$meta:meta])* fn $name:ident ( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block)*) => {
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { ($crate::ProptestConfig::with_cases(32)) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident ( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block)*) => {
         $(
             $(#[$meta])*
-            #[allow(unused_variables, unreachable_code, unused_mut)]
+            #[allow(unused_variables, unused_mut)]
             fn $name() {
-                let mut case = || -> ::std::result::Result<(), ::std::string::String> {
-                    $(let $pat = $crate::strategy_value(&($strat));)+
-                    $body
-                    Ok(())
-                };
-                let _ = case();
+                let __cases = ($cfg).cases;
+                let mut __rng = $crate::GenRng::for_test(stringify!($name));
+                let mut __ran: u32 = 0;
+                let mut __attempts: u32 = 0;
+                while __ran < __cases {
+                    __attempts += 1;
+                    assert!(
+                        __attempts <= __cases.saturating_mul(64).max(1024),
+                        "proptest stub: {} rejected too many cases",
+                        stringify!($name),
+                    );
+                    $(
+                        let $pat = match $crate::Strategy::generate(&($strat), &mut __rng) {
+                            ::std::option::Option::Some(v) => v,
+                            ::std::option::Option::None => continue,
+                        };
+                    )+
+                    let mut __case =
+                        move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                            $body
+                            Ok(())
+                        };
+                    match __case() {
+                        ::std::result::Result::Ok(()) => __ran += 1,
+                        ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
+                    }
+                }
             }
         )*
     };
@@ -155,7 +286,11 @@ macro_rules! prop_assert_ne {
 
 #[macro_export]
 macro_rules! prop_assume {
-    ($($t:tt)*) => { assert!($($t)*) };
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
 }
 
 pub mod prelude {

@@ -1,4 +1,13 @@
-//! Typecheck-only stub of `rand` 0.8. Not functional.
+//! Behavioral offline stand-in for `rand` 0.8 (the API subset this
+//! workspace uses).
+//!
+//! Unlike a typecheck-only stub, this implements a real PRNG (splitmix64
+//! core) and genuine uniform sampling, so the test suite can be *executed*
+//! on machines with no crates registry. Streams differ from the real
+//! `rand` crate — any seeded expectation is stub-internal — but every
+//! repo invariant is stream-agnostic: the equivalence suites (fast vs
+//! reference datapath, calendar vs heap scheduler, parallel vs serial
+//! builds) compare two runs over the *same* stream.
 
 pub trait RngCore {
     fn next_u64(&mut self) -> u64;
@@ -22,18 +31,23 @@ pub trait Rng: RngCore {
     where
         Self: Sized,
     {
-        range.low()
+        range.sample(self)
     }
 
-    fn gen_bool(&mut self, _p: f64) -> bool
+    fn gen_bool(&mut self, p: f64) -> bool
     where
         Self: Sized,
     {
-        false
+        unit_f64(self.next_u64()) < p
     }
 }
 
 impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A uniform draw from `[0, 1)` with 53 random mantissa bits.
+fn unit_f64(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
 
 pub trait FromRng {
     fn from_rng(x: u64) -> Self;
@@ -55,27 +69,70 @@ impl FromRng for bool {
 }
 impl FromRng for f64 {
     fn from_rng(x: u64) -> Self {
-        x as f64
+        unit_f64(x)
     }
 }
 impl FromRng for f32 {
     fn from_rng(x: u64) -> Self {
-        x as f32
+        unit_f64(x) as f32
     }
 }
 
 pub trait SampleRange<T> {
-    fn low(self) -> T;
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
 }
 
-impl<T> SampleRange<T> for std::ops::Range<T> {
-    fn low(self) -> T {
-        self.start
+/// Per-type uniform sampling over `[lo, hi)` / `[lo, hi]` — the single
+/// generic `SampleRange` impl below keeps integer-literal inference
+/// working the way the real crate's `SampleUniform` does.
+pub trait SampleBound: Sized {
+    fn sample_range<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R)
+        -> Self;
+}
+
+impl<T: SampleBound> SampleRange<T> for std::ops::Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(self.start, self.end, false, rng)
     }
 }
-impl<T> SampleRange<T> for std::ops::RangeInclusive<T> {
-    fn low(self) -> T {
-        self.into_inner().0
+
+impl<T: SampleBound> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_range(lo, hi, true, rng)
+    }
+}
+
+macro_rules! impl_sample_bound_int {
+    ($($t:ty),*) => {
+        $(impl SampleBound for $t {
+            fn sample_range<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                let (lo, hi) = (lo as i128, hi as i128);
+                let span = (hi - lo) as u128 + inclusive as u128;
+                assert!(span > 0, "cannot sample empty range");
+                (lo + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        })*
+    };
+}
+impl_sample_bound_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleBound for f64 {
+    fn sample_range<R: RngCore + ?Sized>(lo: Self, hi: Self, _incl: bool, rng: &mut R) -> Self {
+        assert!(lo < hi, "cannot sample empty range");
+        lo + unit_f64(rng.next_u64()) * (hi - lo)
+    }
+}
+
+impl SampleBound for f32 {
+    fn sample_range<R: RngCore + ?Sized>(lo: Self, hi: Self, _incl: bool, rng: &mut R) -> Self {
+        assert!(lo < hi, "cannot sample empty range");
+        lo + (unit_f64(rng.next_u64()) as f32) * (hi - lo)
     }
 }
 
@@ -84,14 +141,18 @@ pub trait SeedableRng: Sized {
 }
 
 pub mod rngs {
-    /// Stub SmallRng: a trivial LCG so the type exists and is cheap.
+    /// Stand-in SmallRng: splitmix64 — a real, well-mixed 64-bit PRNG
+    /// (the same generator `rand` itself uses to seed from a `u64`).
     #[derive(Debug, Clone)]
     pub struct SmallRng(u64);
 
     impl crate::RngCore for SmallRng {
         fn next_u64(&mut self) -> u64 {
-            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
-            self.0
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
         }
     }
 
@@ -111,9 +172,21 @@ pub mod seq {
 
     impl<T> SliceRandom for [T] {
         type Item = T;
-        fn shuffle<R: crate::Rng + ?Sized>(&mut self, _rng: &mut R) {}
-        fn choose<R: crate::Rng + ?Sized>(&self, _rng: &mut R) -> Option<&T> {
-            self.first()
+
+        /// Fisher–Yates, uniform over permutations.
+        fn shuffle<R: crate::Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get((rng.next_u64() % self.len() as u64) as usize)
+            }
         }
     }
 }

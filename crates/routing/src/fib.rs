@@ -63,19 +63,28 @@ pub struct FibCache {
     arena: Vec<(NodeId, u32)>,
 }
 
-/// Hard cap on `routers × vnodes` slots (~512 MiB of slot table at the
-/// limit); planes beyond it — far past any topology this repo evaluates —
-/// simply run without a hot cache.
-const FIB_CACHE_MAX_SLOTS: u64 = 1 << 26;
+/// Hard cap on the cache's memory footprint — slot table *and* next-hop
+/// arena, both of which are known exactly before building. Planes beyond
+/// it — far past any topology this repo evaluates — simply run without a
+/// hot cache.
+const FIB_CACHE_MAX_BYTES: u64 = 256 << 20;
 
 impl FibCache {
     /// Builds the flat cache for `fs` given the physical edge endpoints
     /// (`edges[e] = (a, b)`, the simulator's direction convention).
-    /// Returns `None` when the slot table would exceed the size guard.
+    /// Returns `None` when the cache (slot table + arena) would exceed
+    /// [`FIB_CACHE_MAX_BYTES`].
     pub fn build(fs: &ForwardingState, edges: &[(NodeId, NodeId)]) -> Option<FibCache> {
         let vnodes = fs.vrf.graph.num_nodes();
         let routers = fs.vrf.routers;
-        if vnodes as u64 * routers as u64 > FIB_CACHE_MAX_SLOTS {
+        // Exact footprint: one slot per (vnode, dst) pair plus one arena
+        // entry per DAG next-hop entry (`next_hops` is a straight
+        // delegation to `dags[dst]`, so per-DAG totals are the arena).
+        let slot_bytes = vnodes as u64 * routers as u64
+            * std::mem::size_of::<(u32, u32)>() as u64;
+        let arena_entries: u64 = fs.dags.iter().map(|d| d.num_entries() as u64).sum();
+        let arena_bytes = arena_entries * std::mem::size_of::<(NodeId, u32)>() as u64;
+        if slot_bytes.saturating_add(arena_bytes) > FIB_CACHE_MAX_BYTES {
             return None;
         }
         let mut slots = Vec::with_capacity((vnodes as usize) * (routers as usize));

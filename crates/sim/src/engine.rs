@@ -389,8 +389,21 @@ impl<F: Forwarding> Simulation<F> {
 
     // ---- internals ----
 
+    /// Assigns a fresh (maximal) seq to `ev` and enqueues it, keeping the
+    /// staged-event slot coherent: a timer handler popped ahead of the
+    /// staged event may emit events that precede it (e.g. a retransmitted
+    /// packet's wire events vs a far-future `FlowStart`), in which case the
+    /// staged event must return to the queue or it would be processed out
+    /// of order. A fresh seq loses every `(time, seq)` tie, so comparing
+    /// times alone suffices.
     fn push(&mut self, t: Ns, ev: Ev) {
         self.seq += 1;
+        if let Some(&(st, _, _)) = self.staged.as_ref() {
+            if t < st {
+                let (st, ss, sev) = self.staged.take().expect("just checked");
+                self.queue.push(st, ss, sev);
+            }
+        }
         self.queue.push(t, self.seq, ev);
     }
 
@@ -1000,6 +1013,37 @@ mod tests {
         let t = small_ls();
         let cfg = SimConfig { max_time_ns: 300_000, ..Default::default() };
         assert_datapaths_agree(&t, RoutingScheme::Ecmp, cfg, 55);
+    }
+
+    #[test]
+    fn fast_datapath_matches_reference_across_rto_quiescence() {
+        // Regression: when a wheel RTO fires ahead of a staged far-future
+        // FlowStart, the retransmitted packet's wire events precede the
+        // staged event — `push` must return the staged event to the queue
+        // or it is processed out of order (time regresses and the
+        // datapaths diverge).
+        let t = small_ls();
+        let base = SimConfig { queue_bytes: 3_000, ..Default::default() };
+        let run = |datapath| {
+            let fs = ForwardingState::build(&t.graph, RoutingScheme::Ecmp);
+            let cfg = SimConfig { datapath, ..base };
+            let mut s = Simulation::new(&t, fs, cfg, 56);
+            // Incast into server 0 over two-packet queues: whole windows
+            // drop, so recovery leans on RTOs firing into a drained
+            // network.
+            for i in 0..12 {
+                s.add_flow(8 + i, 0, 60_000, 0).unwrap();
+            }
+            // Starts long after the incast stalls: its FlowStart is the
+            // staged event during every RTO wait before 20 ms.
+            s.add_flow(1, 2, 20_000, 20_000_000).unwrap();
+            let r = s.run();
+            let timeouts: u32 = r.flows.iter().map(|f| f.timeouts).sum();
+            assert!(timeouts > 0, "scenario must exercise RTO recovery");
+            let fcts: Vec<Option<Ns>> = r.flows.iter().map(|f| f.fct_ns).collect();
+            (fcts, r.dropped_packets, r.delivered_bytes, s.pkt_hops(), s.switch_link_tx_bytes())
+        };
+        assert_eq!(run(Datapath::Fast), run(Datapath::Reference));
     }
 
     #[test]

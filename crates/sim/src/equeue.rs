@@ -335,14 +335,20 @@ impl TimerWheel {
         self.len == 0
     }
 
-    /// Arms a timer for `key`. `seq` must come from the caller's global
-    /// insertion sequence (the total order shared with the event queue);
-    /// `key` must not already hold a live entry (cancel first).
+    /// Arms a timer for `key`, replacing the key's live entry if one
+    /// exists (exactly as `cancel(key)` followed by a fresh insert — the
+    /// wheel never holds two entries per key). `seq` must come from the
+    /// caller's global insertion sequence (the total order shared with the
+    /// event queue).
     pub fn insert(&mut self, t: Ns, seq: u64, key: u32, gen: u64) {
         if key as usize >= self.loc.len() {
             self.loc.resize(key as usize + 1, (Self::NO_SLOT, 0));
+        } else {
+            let (slot, idx) = self.loc[key as usize];
+            if slot != Self::NO_SLOT {
+                self.remove_at(slot as usize, idx as usize);
+            }
         }
-        debug_assert_eq!(self.loc[key as usize].0, Self::NO_SLOT, "key {key} already armed");
         let mut slot = Self::OVERFLOW_SLOT;
         for l in 0..Self::LEVELS {
             let shift = Self::BASE_SHIFT + 6 * l as u32;
@@ -373,8 +379,11 @@ impl TimerWheel {
 
     /// Removes and returns the earliest timer whose `(t, seq)` key is
     /// strictly below `bound`, as `(t, seq, key, gen)`; `None` when no
-    /// timer is due. `bound.0` must be non-decreasing across calls (the
-    /// discrete-event contract — it is the key of the next queue event).
+    /// timer is due. Discrete-event contract: the caller processes the
+    /// returned timer — or, on `None`, the queue event whose key is
+    /// `bound` — next, so simulated time advances to that key and every
+    /// later `insert` lands at or after it; that is what makes the
+    /// anchor advance below sound.
     pub fn pop_before(&mut self, bound: (Ns, u64)) -> Option<(Ns, u64, u32, u64)> {
         if self.len == 0 || self.min_lb >= bound {
             return None;
@@ -711,6 +720,24 @@ mod tests {
         assert!(!w.cancel(99), "unknown key");
         w.insert(2_000_000, 2, 0, 2);
         assert_eq!(w.pop_earliest(), Some((2_000_000, 2, 0, 2)));
+        assert_eq!(w.pop_earliest(), None);
+    }
+
+    #[test]
+    fn wheel_rearm_without_cancel_replaces() {
+        // Re-arming a live key must replace the old entry, not orphan it:
+        // the old deadline never fires and the new one stays cancellable.
+        let mut w = TimerWheel::new();
+        w.insert(1_000_000, 1, 0, 1);
+        w.insert(2_000_000, 2, 0, 2); // same key, no cancel
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.pop_earliest(), Some((2_000_000, 2, 0, 2)));
+        assert_eq!(w.pop_earliest(), None);
+        // Replacement across buckets (old in level 0, new in overflow).
+        w.insert(3_000_000, 3, 7, 1);
+        w.insert(9_000_000_000_000, 4, 7, 2);
+        assert_eq!(w.len(), 1);
+        assert!(w.cancel(7), "replacement entry must be cancellable");
         assert_eq!(w.pop_earliest(), None);
     }
 

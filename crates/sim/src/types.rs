@@ -61,7 +61,9 @@ pub struct SimConfig {
     /// FCTs, drops, delivered bytes, per-link tx bytes — byte-identical to
     /// the reference datapath; only [`SimReport::events`] may differ, since
     /// the reference path processes no-op events (stale RTOs, terminal
-    /// `TxDone`s) that the fast path never materializes.
+    /// `TxDone`s) that the fast path never materializes. The invariant is
+    /// pinned by the `fast_datapath_matches_reference_*` engine tests and
+    /// the `tests/proptest_sim.rs` equivalence properties.
     #[serde(default)]
     pub datapath: Datapath,
 }

@@ -77,24 +77,37 @@ fn adaptive_sim_end_to_end() {
 }
 
 /// More failures, monotonically more stretch (on average over the same
-/// seed family) and never less diversity.
+/// seed family) and never less diversity. Averaged over a seed family
+/// rather than pinned to one seed: whether a *particular* random plan
+/// stretches any path is a property of the RNG stream, not of the code
+/// under test.
 #[test]
 fn failure_impact_grows_with_cut_fraction() {
     let topo = DRing::uniform(8, 3, 32).build();
-    let mut prev_cost = 0.0;
-    for (i, fraction) in [0.05, 0.25].iter().enumerate() {
-        let mut rng = SmallRng::seed_from_u64(11);
-        let plan = FailurePlan::random_links(&topo, *fraction, &mut rng);
-        let impact = assess(&topo, RoutingScheme::ShortestUnion(2), &plan, 40).unwrap();
-        assert!(impact.mean_cost_after >= prev_cost);
-        if i == 1 {
+    const SEEDS: u64 = 8;
+    let family_mean = |fraction: f64| -> f64 {
+        let mut sum = 0.0;
+        for s in 0..SEEDS {
+            let mut rng = SmallRng::seed_from_u64(11 + s);
+            let plan = FailurePlan::random_links(&topo, fraction, &mut rng);
+            let impact = assess(&topo, RoutingScheme::ShortestUnion(2), &plan, 40).unwrap();
+            // Cutting links can only lengthen surviving routes.
             assert!(
-                impact.mean_cost_after > impact.mean_cost_before,
-                "25% cuts must stretch paths: {impact:?}"
+                impact.mean_cost_after >= impact.mean_cost_before,
+                "cuts shortened paths: {impact:?}"
             );
+            sum += impact.mean_cost_after;
         }
-        prev_cost = impact.mean_cost_after;
-    }
+        sum / SEEDS as f64
+    };
+    // Same seed => same shuffle, so the 5% cut set is a prefix of the 25%
+    // one and per-seed (hence family-mean) stretch is monotone.
+    let light = family_mean(0.05);
+    let heavy = family_mean(0.25);
+    assert!(heavy >= light, "more cuts must not shrink stretch: {light} vs {heavy}");
+    // At a 25% cut, at least one plan in the family must stretch some
+    // route past the K=2 cost floor.
+    assert!(heavy > 2.0, "25% cuts must stretch paths somewhere in the family: {heavy}");
 }
 
 /// A degraded topology still runs the full simulator pipeline.

@@ -69,35 +69,47 @@ fn claim_bgp_realizes_shortest_union() {
 }
 
 /// §6.1: flat topologies beat the leaf-spine's FCT tail on skewed traffic,
-/// through the full packet simulator.
+/// through the full packet simulator. The claim is statistical, so it is
+/// pinned on the *mean* tail over a small seed family rather than one
+/// workload draw — a single draw's winner is a property of the RNG
+/// stream, not of the topologies.
 #[test]
 fn claim_flat_beats_leafspine_on_skewed_fct() {
     let topos = EvalTopos::build(Scale::Small, 7);
     let window = 1_500_000;
     let offered = topos.offered_bytes(0.3, window, 10.0);
-    let ls_flows = generate_workload(TmKind::FbSkewed, &topos.leafspine, offered, window, 9);
-    let dr_flows = generate_workload(TmKind::FbSkewed, &topos.dring, offered, window, 9);
-    let ls = run_cell(
-        &topos.leafspine,
-        RoutingScheme::Ecmp,
-        &ls_flows,
-        "FB skewed",
-        SimConfig::default(),
-        9,
-    );
-    let dr = run_cell(
-        &topos.dring,
-        RoutingScheme::ShortestUnion(2),
-        &dr_flows,
-        "FB skewed",
-        SimConfig::default(),
-        9,
-    );
+    let mut ls_p99 = 0.0;
+    let mut dr_p99 = 0.0;
+    const SEEDS: u64 = 4;
+    for seed in 9..9 + SEEDS {
+        let ls_flows =
+            generate_workload(TmKind::FbSkewed, &topos.leafspine, offered, window, seed);
+        let dr_flows = generate_workload(TmKind::FbSkewed, &topos.dring, offered, window, seed);
+        ls_p99 += run_cell(
+            &topos.leafspine,
+            RoutingScheme::Ecmp,
+            &ls_flows,
+            "FB skewed",
+            SimConfig::default(),
+            seed,
+        )
+        .p99_ms;
+        dr_p99 += run_cell(
+            &topos.dring,
+            RoutingScheme::ShortestUnion(2),
+            &dr_flows,
+            "FB skewed",
+            SimConfig::default(),
+            seed,
+        )
+        .p99_ms;
+    }
+    let (ls_p99, dr_p99) = (ls_p99 / SEEDS as f64, dr_p99 / SEEDS as f64);
     assert!(
-        dr.p99_ms < ls.p99_ms,
-        "DRing p99 {} should beat leaf-spine {}",
-        dr.p99_ms,
-        ls.p99_ms
+        dr_p99 < ls_p99,
+        "DRing mean p99 {} should beat leaf-spine {}",
+        dr_p99,
+        ls_p99
     );
 }
 
