@@ -209,6 +209,53 @@ impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
 impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
 impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, G: 5);
 
+/// `prop_oneof!`'s expansion: draw uniformly among boxed alternatives.
+/// (Real proptest supports weights; the workspace only uses the uniform
+/// form.)
+pub struct OneOf<T>(pub Vec<Box<dyn Strategy<Value = T>>>);
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut GenRng) -> Option<T> {
+        assert!(!self.0.is_empty(), "prop_oneof! needs at least one arm");
+        let i = (rng.next_u64() as usize) % self.0.len();
+        self.0[i].generate(rng)
+    }
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf(::std::vec![$(::std::boxed::Box::new($strat)),+])
+    };
+}
+
+pub mod collection {
+    //! `proptest::collection` subset: random-length `Vec`s.
+
+    use super::{GenRng, Strategy};
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `vec(element, len_range)`: a `Vec` whose length is drawn from
+    /// `size` and whose elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut GenRng) -> Option<Vec<S::Value>> {
+            let n = Strategy::generate(&self.size, rng)?;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
 pub struct ProptestConfig {
     pub cases: u32,
 }
@@ -295,7 +342,12 @@ macro_rules! prop_assume {
 
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
-        ProptestConfig, Strategy,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Just, ProptestConfig, Strategy,
     };
+
+    /// Namespaced re-exports mirroring real proptest's `prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
 }

@@ -125,6 +125,18 @@ fn bench_datapath(c: &mut Criterion) {
     // as `packet_sim`. The hot-cache is pre-warmed for both; the reference
     // run ignores it.
     let flows = generate_workload(TmKind::Uniform, &topos.dring, 4_000_000, 500_000, 2);
+    // Pre-flight outside the timed region: if the "fast" configuration
+    // silently degraded to per-hop walks (no usable FIB cache), warn so
+    // the fast-vs-reference numbers aren't comparing slow path to slow
+    // path.
+    {
+        let cfg = SimConfig { datapath: Datapath::Fast, ..Default::default() };
+        let mut sim = Simulation::with_fib_cache(&topos.dring, &fs, cfg, 3, Some(fib.clone()));
+        if let Some(f) = flows.flows.first() {
+            sim.add_flow(f.src, f.dst, f.bytes, f.start_ns).expect("valid flow");
+        }
+        spineless_bench::warn_if_slow_path(&sim.run(), &cfg, "sim_bench/full_run");
+    }
     for (name, datapath) in [("fast", Datapath::Fast), ("reference", Datapath::Reference)] {
         g.bench_with_input(BenchmarkId::new("full_run", name), &flows, |b, flows| {
             b.iter(|| {

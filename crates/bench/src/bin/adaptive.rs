@@ -11,7 +11,7 @@
 //!
 //! `cargo run -p spineless-bench --release --bin adaptive`
 
-use spineless_bench::parse_args;
+use spineless_bench::{parse_args, warn_if_slow_path};
 use spineless_core::fct::{generate_workload, run_cell, TmKind};
 use spineless_core::stats::{median, ns_to_ms, percentile};
 use spineless_core::topos::EvalTopos;
@@ -111,11 +111,21 @@ fn run_dual(
     seed: u64,
 ) -> (f64, f64) {
     // Reuse the prebuilt planes by cloning the dual state per run.
-    let mut sim = Simulation::new(topo, dual.clone(), SimConfig::default(), seed);
+    let cfg = SimConfig::default();
+    let mut sim = Simulation::new(topo, dual.clone(), cfg, seed);
     for f in &flows.flows {
         sim.add_flow(f.src, f.dst, f.bytes, f.start_ns).expect("valid flow");
     }
     let report = sim.run();
+    // DualPlane exposes no FIB hot-cache, so the default fast datapath
+    // runs per-hop walks here — say so once instead of silently
+    // presenting slow-path numbers.
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    if cfg.datapath == spineless_sim::Datapath::Fast && !report.used_fib_cache {
+        WARNED.call_once(|| {
+            warn_if_slow_path(&report, &cfg, "adaptive/dual-plane");
+        });
+    }
     let fcts: Vec<f64> = report.fcts().iter().map(|&ns| ns_to_ms(ns)).collect();
     (
         median(&fcts).unwrap_or(f64::NAN),

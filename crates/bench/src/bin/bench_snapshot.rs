@@ -34,7 +34,7 @@ use spineless_core::{EvalTopos, RoutingCache, Scale};
 use spineless_fluid::{max_min_rates, max_min_rates_reference, LinkSpace};
 use spineless_routing::failures::{incremental_rebuild, FailurePlan};
 use spineless_routing::{Forwarding, ForwardingState, RoutingScheme};
-use spineless_sim::{Datapath, Scheduler, SimConfig, Simulation};
+use spineless_sim::{Datapath, FailureSchedule, Scheduler, SimConfig, Simulation};
 use spineless_topo::dring::DRing;
 use std::sync::Arc;
 use std::time::Instant;
@@ -180,6 +180,11 @@ fn main() {
         run_datapath(Datapath::Fast);
     let (dp_ref_s, dp_ref_allocs, dp_ref_r, dp_ref_hops, dp_ref_tx) =
         run_datapath(Datapath::Reference);
+    spineless_bench::warn_if_slow_path(
+        &dp_fast_r,
+        &SimConfig { datapath: Datapath::Fast, ..Default::default() },
+        "bench_snapshot/sim_datapath",
+    );
     assert_eq!(dp_fast_r.fcts(), dp_ref_r.fcts(), "datapaths diverged: FCTs");
     assert_eq!(dp_fast_r.dropped_packets, dp_ref_r.dropped_packets, "datapaths diverged: drops");
     assert_eq!(
@@ -198,6 +203,55 @@ fn main() {
         "datapath: {dp_hops} pkt-hops — fast {:.0} hops/s vs reference {:.0} hops/s ({dp_speedup:.2}x), allocs/hop fast {dp_fast_aph} ref {dp_ref_aph}",
         dp_hops as f64 / dp_fast_s,
         dp_hops as f64 / dp_ref_s
+    );
+
+    // --- Failure recovery: cut the busiest cable mid-run, reconverge
+    // after 100 µs, repair at 1.5 ms — same workload as the datapath
+    // microbench, fast vs reference datapath on the identical schedule.
+    // Exercises the whole dynamic-failure machinery (flush, in-flight
+    // drops, plane swap, cache rebuild, restore) under timing. ---
+    let fs_arc = Arc::new(fs.clone());
+    let busiest_link = dp_fast_tx
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &b)| b)
+        .map(|(i, _)| i as u32)
+        .expect("workload touches at least one switch link");
+    let cut_edge = busiest_link >> 1;
+    let run_recovery = |datapath| {
+        let cfg = SimConfig { datapath, ..Default::default() };
+        let mut sim =
+            Simulation::with_fib_cache(&topos.dring, &fs, cfg, seed, Some(fib.clone()));
+        for f in &flows.flows {
+            sim.add_flow(f.src, f.dst, f.bytes, f.start_ns).expect("valid flow");
+        }
+        let sched = FailureSchedule::new(100_000)
+            .link_down(300_000, cut_edge)
+            .link_up(1_500_000, cut_edge);
+        sim.set_failure_schedule(&topos.dring, fs_arc.clone(), sched)
+            .expect("schedule targets this topology's own edges");
+        let t0 = Instant::now();
+        let r = sim.run();
+        (t0.elapsed().as_secs_f64(), r, sim.pkt_hops())
+    };
+    let (rec_fast_s, rec_fast_r, rec_hops) = run_recovery(Datapath::Fast);
+    let (rec_ref_s, rec_ref_r, rec_ref_hops) = run_recovery(Datapath::Reference);
+    assert_eq!(rec_fast_r.fcts(), rec_ref_r.fcts(), "recovery datapaths diverged: FCTs");
+    assert_eq!(
+        rec_fast_r.dropped_packets, rec_ref_r.dropped_packets,
+        "recovery datapaths diverged: drops"
+    );
+    assert_eq!(
+        rec_fast_r.delivered_bytes, rec_ref_r.delivered_bytes,
+        "recovery datapaths diverged: delivered bytes"
+    );
+    assert_eq!(rec_hops, rec_ref_hops, "recovery datapaths diverged: packet-hops");
+    let rec_retransmits: u64 = rec_fast_r.flows.iter().map(|f| f.retransmits as u64).sum();
+    let rec_speedup = rec_ref_s / rec_fast_s;
+    eprintln!(
+        "failure recovery: edge {cut_edge} cut — {} drops, {rec_retransmits} rtx, {} unfinished; fast {rec_fast_s:.3}s vs reference {rec_ref_s:.3}s ({rec_speedup:.2}x)",
+        rec_fast_r.dropped_packets,
+        rec_fast_r.unfinished()
     );
 
     // --- Fig. 4 grid end-to-end: before (heap + per-cell builds) vs
@@ -361,7 +415,7 @@ fn main() {
     // dependency, and the document is flat enough that format! suffices.
     let json = format!(
         r#"{{
-  "schema": "bench_snapshot/v3",
+  "schema": "bench_snapshot/v4",
   "seed": {seed},
   "scale": "small",
   "host_threads": {threads},
@@ -380,6 +434,18 @@ fn main() {
     "fast": {{ "wall_s": {dp_fast_s:.4}, "pkt_hops_per_sec": {dp_fast_hps:.0}, "events": {dp_fast_events}, "events_per_sec": {dp_fast_eps:.0}, "allocs_per_pkt_hop": {dp_fast_aph} }},
     "reference": {{ "wall_s": {dp_ref_s:.4}, "pkt_hops_per_sec": {dp_ref_hps:.0}, "events": {dp_ref_events}, "events_per_sec": {dp_ref_eps:.0}, "allocs_per_pkt_hop": {dp_ref_aph} }},
     "speedup": {dp_speedup:.3},
+    "results_identical": true
+  }},
+  "failure_recovery": {{
+    "workload": "fig4-style A2A on DRing su2, 8 MB offered; busiest cable cut at 300 us, repaired at 1.5 ms, 100 us reconvergence",
+    "cut_edge": {cut_edge},
+    "pkt_hops": {rec_hops},
+    "dropped_packets": {rec_drops},
+    "retransmits": {rec_retransmits},
+    "unfinished_flows": {rec_unfinished},
+    "fast": {{ "wall_s": {rec_fast_s:.4}, "pkt_hops_per_sec": {rec_fast_hps:.0} }},
+    "reference": {{ "wall_s": {rec_ref_s:.4}, "pkt_hops_per_sec": {rec_ref_hps:.0} }},
+    "speedup": {rec_speedup:.3},
     "results_identical": true
   }},
   "fig4_small_grid": {{
@@ -438,6 +504,10 @@ fn main() {
         dp_ref_events = dp_ref_r.events,
         dp_fast_eps = dp_fast_r.events as f64 / dp_fast_s,
         dp_ref_eps = dp_ref_r.events as f64 / dp_ref_s,
+        rec_drops = rec_fast_r.dropped_packets,
+        rec_unfinished = rec_fast_r.unfinished(),
+        rec_fast_hps = rec_hops as f64 / rec_fast_s,
+        rec_ref_hps = rec_hops as f64 / rec_ref_s,
         fig4_before_cps = fig4_cells as f64 / fig4_before_s,
         fig4_after_cps = fig4_cells as f64 / fig4_after_s,
         fig5_serial_cps = fig5_cells as f64 / fig5_serial_s,

@@ -54,6 +54,28 @@ pub mod alloc_count {
     }
 }
 
+/// Warns on stderr when a run silently degraded: the config asked for the
+/// fast datapath but the report shows no FIB hot-cache was in use (the
+/// forwarding plane exposes none — e.g. `DualPlane` — or the cache blew
+/// its byte budget), so every packet took the per-hop walk. Benchmarks
+/// and drivers call this so slow-path numbers are never presented as
+/// fast-path throughput. Returns whether it warned.
+pub fn warn_if_slow_path(
+    report: &spineless_sim::SimReport,
+    cfg: &spineless_sim::SimConfig,
+    context: &str,
+) -> bool {
+    let degraded = cfg.datapath == spineless_sim::Datapath::Fast && !report.used_fib_cache;
+    if degraded {
+        eprintln!(
+            "warning[{context}]: fast datapath fell back to per-hop walks \
+             (no FIB hot-cache for this forwarding plane); timings reflect \
+             the slow path"
+        );
+    }
+    degraded
+}
+
 /// Minimal CLI parsing shared by the harness binaries: reads
 /// `--scale small|paper` (default small) and `--seed N` (default 42);
 /// unknown arguments abort with a usage hint.

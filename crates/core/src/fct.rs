@@ -8,7 +8,7 @@
 //! sparse patterns (rack-to-rack, C-S) further scaled by the fraction of
 //! racks that send (§6.1).
 
-use crate::stats::{mean, median, ns_to_ms, percentile};
+use crate::stats::FctSummary;
 use crate::topos::{EvalTopos, Scale};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -284,17 +284,17 @@ pub fn run_cell_with(
             .expect("workload endpoints are valid and connected");
     }
     let report = sim.run();
-    let fcts_ms: Vec<f64> = report.fcts().iter().map(|&ns| ns_to_ms(ns)).collect();
+    let s = FctSummary::from_report(&report);
     FctCell {
         topo: topo.name.clone(),
         routing: scheme.label(),
         tm: tm_label.to_owned(),
-        median_ms: median(&fcts_ms).unwrap_or(f64::NAN),
-        p99_ms: percentile(&fcts_ms, 99.0).unwrap_or(f64::NAN),
-        mean_ms: mean(&fcts_ms).unwrap_or(f64::NAN),
-        flows: report.flows.len(),
-        unfinished: report.unfinished(),
-        dropped: report.dropped_packets,
+        median_ms: s.median_ms,
+        p99_ms: s.p99_ms,
+        mean_ms: s.mean_ms,
+        flows: s.flows,
+        unfinished: s.unfinished,
+        dropped: s.dropped,
     }
 }
 

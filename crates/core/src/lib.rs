@@ -13,6 +13,9 @@
 //!   over an equal-equipment RRG as supernodes are added (40 → 90 racks).
 //! * [`udf`] — §3.1: the NSR / UDF analysis table (`UDF(leaf-spine) = 2`),
 //!   both closed-form and measured on constructed topologies.
+//! * [`recovery`] — §7 / experiment X1b: FCT degradation under *live*
+//!   mid-run link cuts with data-plane reconvergence, leaf-spine vs the
+//!   flat fabrics.
 //! * [`topos`] — the evaluation topology trio at paper scale or a
 //!   proportionally reduced "small" scale for quick runs.
 //! * [`stats`] — percentile helpers shared by the experiments.
@@ -38,6 +41,7 @@
 
 pub mod cache;
 pub mod fct;
+pub mod recovery;
 pub mod scale;
 pub mod stats;
 pub mod throughput;

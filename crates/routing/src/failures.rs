@@ -83,6 +83,29 @@ impl FailurePlan {
             topo.ports_per_switch,
         )
     }
+
+    /// The edge-id translation [`FailurePlan::apply`] induces: entry `i` is
+    /// the *original* edge id of the degraded topology's edge `i`.
+    /// Surviving edges keep their relative order, so the map is simply the
+    /// original ids with the dead ones (cut links plus every link of a
+    /// powered-off switch) removed. The live simulator uses this to map a
+    /// reconverged plane's next hops back onto its original link queues.
+    pub fn surviving_edge_map(&self, topo: &Topology) -> Vec<EdgeId> {
+        let mut switch_dead = vec![false; topo.graph.num_nodes() as usize];
+        for &sw in &self.failed_switches {
+            switch_dead[sw as usize] = true;
+        }
+        let mut edge_dead = vec![false; topo.graph.num_edges() as usize];
+        for &e in &self.failed_links {
+            edge_dead[e as usize] = true;
+        }
+        (0..topo.graph.num_edges())
+            .filter(|&e| {
+                let (a, b) = topo.graph.edge(e);
+                !edge_dead[e as usize] && !switch_dead[a as usize] && !switch_dead[b as usize]
+            })
+            .collect()
+    }
 }
 
 /// Impact of a failure plan on one (topology, routing scheme) pair.
@@ -382,6 +405,27 @@ mod tests {
         let impact = assess(&t, RoutingScheme::ShortestUnion(2), &plan, 20).unwrap();
         // Victim still hosts servers but has no links: pairs to/from it die.
         assert!(impact.disconnected_pairs > 0);
+    }
+
+    #[test]
+    fn surviving_edge_map_matches_apply_renumbering() {
+        // The map must translate every degraded edge id back to an
+        // original edge with the same endpoints — this is the contract the
+        // simulator's mid-run plane swap rests on.
+        let t = dring();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut plan = FailurePlan::random_links(&t, 0.15, &mut rng);
+        plan.failed_switches = vec![3];
+        let d = plan.apply(&t).unwrap();
+        let map = plan.surviving_edge_map(&t);
+        assert_eq!(map.len() as u32, d.graph.num_edges());
+        for e in 0..d.graph.num_edges() {
+            assert_eq!(d.graph.edge(e), t.graph.edge(map[e as usize]), "degraded edge {e}");
+        }
+        // Dead edges never appear in the map.
+        for &dead in &plan.failed_links {
+            assert!(!map.contains(&dead));
+        }
     }
 
     #[test]

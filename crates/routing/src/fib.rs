@@ -126,6 +126,29 @@ impl FibCache {
         debug_assert!(len > 0, "no route at vnode {vnode} towards {dst}");
         self.arena[off as usize + (hash % len as u64) as usize]
     }
+
+    /// [`FibCache::next_hop`] that reports an empty next-hop set as `None`
+    /// instead of panicking. Caches built from a *degraded* plane (mid-run
+    /// reconvergence) legitimately contain empty slots — a packet stranded
+    /// at such a vnode has no route and must be dropped, not forwarded.
+    #[inline]
+    pub fn try_next_hop(&self, vnode: NodeId, dst: NodeId, hash: u64) -> Option<(NodeId, u32)> {
+        let (off, len) = self.slots[dst as usize * self.vnodes as usize + vnode as usize];
+        if len == 0 {
+            return None;
+        }
+        Some(self.arena[off as usize + (hash % len as u64) as usize])
+    }
+
+    /// Rewrites every directed link id in the arena through `map`. Used
+    /// when a cache is built against a *renumbered* edge space (a degraded
+    /// topology's dense edge ids) but must answer queries in another (the
+    /// live simulator's original `2 * edge + dir` ids).
+    pub fn remap_links(&mut self, map: impl Fn(u32) -> u32) {
+        for e in &mut self.arena {
+            e.1 = map(e.1);
+        }
+    }
 }
 
 /// The forwarding interface the packet simulator and the fluid model drive.
@@ -699,6 +722,27 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn try_next_hop_matches_next_hop_and_reports_voids() {
+        // Node 2 is isolated: towards any destination its slot is empty,
+        // which try_next_hop must surface as None (the mid-run
+        // reconvergence path drops such packets instead of panicking).
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        let g = b.build();
+        let fs = ForwardingState::build(&g, RoutingScheme::Ecmp);
+        let edges: Vec<(NodeId, NodeId)> = g.edges().to_vec();
+        let mut cache = fs.fib_cache(&edges).unwrap();
+        let v0 = fs.start(0);
+        assert_eq!(cache.try_next_hop(v0, 1, 7), Some(cache.next_hop(v0, 1, 7)));
+        assert_eq!(cache.try_next_hop(fs.start(2), 1, 7), None);
+        assert_eq!(cache.try_next_hop(v0, 2, 7), None);
+        // remap_links rewrites only the directed link ids.
+        let (nv, link) = cache.next_hop(v0, 1, 7);
+        cache.remap_links(|l| l + 10);
+        assert_eq!(cache.next_hop(v0, 1, 7), (nv, link + 10));
     }
 
     #[test]

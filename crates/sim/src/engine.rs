@@ -8,13 +8,15 @@
 //! htsim's store-and-forward model.
 
 use crate::equeue::{EventQueue, TimerWheel};
+use crate::failure::{FailureEvent, FailureSchedule};
 use crate::link::{LinkQueue, Offer};
 use crate::packet::Packet;
 use crate::tcp::{TcpOutput, TcpReceiver, TcpSender};
 use crate::types::{Datapath, DirLinkId, FlowId, FlowRecord, Ns, SimConfig, SimReport};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use spineless_graph::NodeId;
+use spineless_graph::{EdgeId, NodeId};
+use spineless_routing::failures::{incremental_rebuild, FailurePlan};
 use spineless_routing::{FibCache, Forwarding, ForwardingState};
 use spineless_topo::Topology;
 use std::sync::Arc;
@@ -34,6 +36,12 @@ enum Ev {
     TxDone(DirLinkId),
     /// A TCP retransmission timer fires.
     Rto(FlowId, u64),
+    /// A scheduled fault/repair (index into the installed
+    /// [`FailureSchedule`]) takes effect on the physical fabric.
+    Control(u32),
+    /// The control plane finishes reconverging on the fabric state as of
+    /// epoch `gen`; superseded generations are no-ops.
+    Reconverge(u32),
 }
 
 /// Error from flow admission.
@@ -50,6 +58,15 @@ pub enum SimError {
     BadServer(u32),
     /// Zero-byte flows are not admitted.
     EmptyFlow,
+    /// A failure schedule named an edge id the topology does not have.
+    BadLink(u32),
+    /// A failure schedule named a switch id the topology does not have.
+    BadSwitch(u32),
+    /// `set_failure_schedule` was called twice on one simulation.
+    ScheduleAlreadySet,
+    /// The topology/baseline handed to `set_failure_schedule` does not
+    /// match what this simulation was built over.
+    PlaneMismatch,
 }
 
 impl std::fmt::Display for SimError {
@@ -60,6 +77,13 @@ impl std::fmt::Display for SimError {
             }
             SimError::BadServer(s) => write!(f, "server {s} out of range"),
             SimError::EmptyFlow => write!(f, "zero-byte flow"),
+            SimError::BadLink(e) => write!(f, "failure schedule names edge {e}, which is out of range"),
+            SimError::BadSwitch(s) => write!(f, "failure schedule names switch {s}, which is out of range"),
+            SimError::ScheduleAlreadySet => write!(f, "a failure schedule is already installed"),
+            SimError::PlaneMismatch => write!(
+                f,
+                "failure schedule's topology/baseline does not match the simulation's forwarding plane"
+            ),
         }
     }
 }
@@ -70,6 +94,54 @@ struct FlowSpec {
     dst: u32,
     bytes: u64,
     start_ns: Ns,
+}
+
+/// Sentinel for [`Simulation`]'s per-link `cut_at`: the link has never
+/// been cut.
+const NEVER_CUT: Ns = Ns::MAX;
+
+/// Installed failure schedule plus the live fault state it drives.
+struct DynFailures {
+    schedule: FailureSchedule,
+    /// The intact forwarding plane reconvergence rebuilds degrade from
+    /// (shared with the caller, e.g. a `spineless-core` `RoutingCache`
+    /// entry).
+    baseline: Arc<ForwardingState>,
+    /// The intact topology (owned clone — failure plans are applied
+    /// against it at every reconvergence).
+    topo: Topology,
+    /// Physical edges currently cut by `LinkDown` events.
+    edge_cut: Vec<bool>,
+    /// Switches currently downed by `SwitchDown` events.
+    switch_down: Vec<bool>,
+    /// Bumped on every fault/repair; a `Reconverge(gen)` event only takes
+    /// effect if `gen` is still the latest epoch (the control plane
+    /// restarts its computation when the fabric changes again mid-flight).
+    epoch: u32,
+}
+
+/// A reconverged forwarding plane: routing state over the *degraded*
+/// topology (whose edges are densely renumbered) plus the map back to
+/// original edge ids, so link-queue indices stay stable across swaps.
+/// Vnode numbering needs no map — `FailurePlan::apply` preserves the
+/// node-id space, so packets in flight keep valid vnodes.
+struct SwapPlane {
+    fs: ForwardingState,
+    /// Degraded edge id → original edge id.
+    edge_map: Vec<EdgeId>,
+}
+
+impl SwapPlane {
+    /// The plane's next hop as `(next vnode, original edge id)`, or
+    /// `None` when the degraded plane has no route at this vnode.
+    fn try_next_hop(&self, vnode: NodeId, dst: NodeId, hash: u64) -> Option<(NodeId, EdgeId)> {
+        let nh = self.fs.next_hops(vnode, dst);
+        if nh.is_empty() {
+            return None;
+        }
+        let (nv, arc) = nh[(hash % nh.len() as u64) as usize];
+        Some((nv, self.edge_map[self.fs.vrf.edge_of_arc(arc) as usize]))
+    }
 }
 
 /// A packet-level simulation of one topology + routing + workload triple.
@@ -133,6 +205,35 @@ pub struct Simulation<F: Forwarding = ForwardingState> {
     /// Reused TCP output buffer — the steady-state fast loop performs no
     /// per-event allocation.
     out_scratch: TcpOutput,
+
+    // ---- dynamic failures (set_failure_schedule) ----
+    /// Installed failure schedule + fault state; `None` = static fabric,
+    /// and every failure structure below is inert.
+    dynf: Option<Box<DynFailures>>,
+    /// The reconverged plane currently forwarding. It replaces the
+    /// baseline for next-hop decisions only — start/delivered/router_of
+    /// geometry is identical because the vnode space is preserved.
+    /// `None` = forwarding on the intact baseline plane.
+    swap: Option<Box<SwapPlane>>,
+    /// The pristine hot-cache built at construction, so a full repair
+    /// restores it without a rebuild.
+    base_hot: Option<Arc<FibCache>>,
+    /// Per directed link: `false` while the cable or an endpoint switch
+    /// is down. Empty until a schedule is installed.
+    link_alive: Vec<bool>,
+    /// Per directed link: time of the most recent cut ([`NEVER_CUT`] if
+    /// never cut). The in-flight loss rule compares it against a
+    /// packet's serialization start time.
+    cut_at: Vec<Ns>,
+    /// Packets dropped because the active plane had no route at their
+    /// vnode — possible only after a failure disconnects part of the
+    /// fabric. Folded into [`SimReport::dropped_packets`].
+    no_route_drops: u64,
+    /// Control-plane events (faults + pending reconvergences) within the
+    /// time horizon not yet processed. The RTO starvation guard only
+    /// abandons a severed flow once this reaches zero — until then a
+    /// pending repair or reconvergence could still revive it.
+    ctrl_pending: u32,
 }
 
 impl<F: Forwarding> Simulation<F> {
@@ -209,12 +310,79 @@ impl<F: Forwarding> Simulation<F> {
             completed: 0,
             delivered_bytes: 0,
             fast,
+            base_hot: hot.clone(),
             hot,
             wheel: TimerWheel::new(),
             staged: None,
             cur_seq: 0,
             out_scratch: TcpOutput::default(),
+            dynf: None,
+            swap: None,
+            link_alive: Vec::new(),
+            cut_at: Vec::new(),
+            no_route_drops: 0,
+            ctrl_pending: 0,
         }
+    }
+
+    /// Installs a dynamic [`FailureSchedule`]: its fault/repair events are
+    /// injected into the `(time, seq)` event stream, and after each fabric
+    /// change the control plane reconverges `reconverge_delay_ns` later by
+    /// swapping in routing state rebuilt from `baseline` via
+    /// [`incremental_rebuild`]. Until the swap lands, traffic keeps
+    /// following the stale plane and blackholes at cut links — exactly the
+    /// window the paper's shortcut-aware failure story is about.
+    ///
+    /// `topo` must be the topology this simulation was built over and
+    /// `baseline` the intact [`ForwardingState`] the active plane forwards
+    /// with (for `Simulation<ForwardingState>`/`Arc<ForwardingState>`
+    /// planes, the same state — reuse the `Arc` handed to the
+    /// constructor). Must be called before [`run`](Self::run), at most
+    /// once, and before/after [`add_flow`](Self::add_flow) calls in the
+    /// same order across runs being compared for determinism (events
+    /// consume insertion seqs).
+    pub fn set_failure_schedule(
+        &mut self,
+        topo: &Topology,
+        baseline: Arc<ForwardingState>,
+        schedule: FailureSchedule,
+    ) -> Result<(), SimError> {
+        if self.dynf.is_some() {
+            return Err(SimError::ScheduleAlreadySet);
+        }
+        if baseline.routers() != self.fs.routers() || topo.graph.edges() != &self.edge_ends[..] {
+            return Err(SimError::PlaneMismatch);
+        }
+        let ne = self.edge_ends.len() as u32;
+        let nsw = self.fs.routers();
+        for &(_, ev) in &schedule.events {
+            match ev {
+                FailureEvent::LinkDown(e) | FailureEvent::LinkUp(e) if e >= ne => {
+                    return Err(SimError::BadLink(e));
+                }
+                FailureEvent::SwitchDown(s) | FailureEvent::SwitchUp(s) if s >= nsw => {
+                    return Err(SimError::BadSwitch(s));
+                }
+                _ => {}
+            }
+        }
+        self.link_alive = vec![true; self.queues.len()];
+        self.cut_at = vec![NEVER_CUT; self.queues.len()];
+        for (i, &(t, _)) in schedule.events.iter().enumerate() {
+            if t <= self.cfg.max_time_ns {
+                self.ctrl_pending += 1;
+            }
+            self.push(t, Ev::Control(i as u32));
+        }
+        self.dynf = Some(Box::new(DynFailures {
+            baseline,
+            topo: topo.clone(),
+            edge_cut: vec![false; ne as usize],
+            switch_down: vec![false; nsw as usize],
+            epoch: 0,
+            schedule,
+        }));
+        Ok(())
     }
 
     /// Whether the fast datapath is forwarding through a FIB hot-cache
@@ -308,17 +476,31 @@ impl<F: Forwarding> Simulation<F> {
                         self.push(self.now + tx + self.link_delay(link), Ev::Arrive(link, pkt));
                     } else {
                         // Terminal TxDone: the reference datapath processes
-                        // these; the fast path never materializes one with
-                        // an empty queue behind it.
-                        debug_assert!(!self.fast, "fast path popped a terminal TxDone");
+                        // these; the fast path only materializes one with
+                        // an empty queue behind it when a LinkDown flushed
+                        // the queue after materialization.
+                        debug_assert!(
+                            !self.fast || self.dynf.is_some(),
+                            "fast path popped a terminal TxDone"
+                        );
                     }
                 }
                 Ev::Arrive(link, pkt) => self.on_arrive(link, pkt),
                 Ev::Rto(f, gen) => {
-                    let mut out = std::mem::take(&mut self.out_scratch);
-                    self.senders[f as usize].on_timer_into(t, gen, &mut out);
-                    self.apply_tcp_output(f, &out);
-                    self.out_scratch = out;
+                    if !self.rto_abandoned(f) {
+                        let mut out = std::mem::take(&mut self.out_scratch);
+                        self.senders[f as usize].on_timer_into(t, gen, &mut out);
+                        self.apply_tcp_output(f, &out);
+                        self.out_scratch = out;
+                    }
+                }
+                Ev::Control(i) => {
+                    self.ctrl_pending -= 1;
+                    self.apply_control(i);
+                }
+                Ev::Reconverge(gen) => {
+                    self.ctrl_pending -= 1;
+                    self.reconverge(gen);
                 }
             }
             if self.completed == self.specs.len() {
@@ -361,13 +543,15 @@ impl<F: Forwarding> Simulation<F> {
                 timeouts: self.senders[i].timeouts,
             })
             .collect();
-        let dropped_packets = self.queues.iter().map(|q| q.drops).sum();
+        let dropped_packets =
+            self.queues.iter().map(|q| q.drops).sum::<u64>() + self.no_route_drops;
         SimReport {
             flows,
             dropped_packets,
             delivered_bytes: self.delivered_bytes,
             end_ns: self.now,
             events: self.events,
+            used_fib_cache: self.hot.is_some(),
         }
     }
 
@@ -442,10 +626,187 @@ impl<F: Forwarding> Simulation<F> {
         }
     }
 
+    // ---- dynamic-failure internals ----
+
+    /// Applies scheduled fault/repair `idx` to the physical fabric and
+    /// kicks off a fresh control-plane reconvergence.
+    fn apply_control(&mut self, idx: u32) {
+        let (delay, ev) = {
+            let d = self.dynf.as_ref().expect("control event without a failure schedule");
+            (d.schedule.reconverge_delay_ns, d.schedule.events[idx as usize].1)
+        };
+        match ev {
+            FailureEvent::LinkDown(e) => {
+                self.dynf.as_mut().expect("checked above").edge_cut[e as usize] = true;
+                self.refresh_edge(e);
+            }
+            FailureEvent::LinkUp(e) => {
+                self.dynf.as_mut().expect("checked above").edge_cut[e as usize] = false;
+                self.refresh_edge(e);
+            }
+            FailureEvent::SwitchDown(sw) => {
+                self.dynf.as_mut().expect("checked above").switch_down[sw as usize] = true;
+                self.refresh_switch(sw);
+            }
+            FailureEvent::SwitchUp(sw) => {
+                self.dynf.as_mut().expect("checked above").switch_down[sw as usize] = false;
+                self.refresh_switch(sw);
+            }
+        }
+        let gen = {
+            let d = self.dynf.as_mut().expect("checked above");
+            d.epoch += 1;
+            d.epoch
+        };
+        let at = self.now.saturating_add(delay);
+        if at <= self.cfg.max_time_ns {
+            self.ctrl_pending += 1;
+        }
+        self.push(at, Ev::Reconverge(gen));
+    }
+
+    /// Recomputes both directions of physical edge `e` from the current
+    /// fault state (an edge is up iff neither the cable nor an endpoint
+    /// switch is down).
+    fn refresh_edge(&mut self, e: EdgeId) {
+        let (a, b) = self.edge_ends[e as usize];
+        let alive = {
+            let d = self.dynf.as_ref().expect("no failure schedule");
+            !d.edge_cut[e as usize] && !d.switch_down[a as usize] && !d.switch_down[b as usize]
+        };
+        self.set_link_alive(2 * e, alive);
+        self.set_link_alive(2 * e + 1, alive);
+    }
+
+    /// Recomputes every directed link touching switch `sw`: its incident
+    /// cables and both directions of its rack's server links.
+    fn refresh_switch(&mut self, sw: NodeId) {
+        for e in 0..self.edge_ends.len() as u32 {
+            let (a, b) = self.edge_ends[e as usize];
+            if a == sw || b == sw {
+                self.refresh_edge(e);
+            }
+        }
+        let alive = !self.dynf.as_ref().expect("no failure schedule").switch_down[sw as usize];
+        for s in 0..self.server_switch.len() as u32 {
+            if self.server_switch[s as usize] == sw {
+                self.set_link_alive(self.base_up + s, alive);
+                self.set_link_alive(self.base_down + s, alive);
+            }
+        }
+    }
+
+    /// Alive-state transition for one directed link. Going down stamps the
+    /// cut time (for the in-flight loss rule) and flushes the waiting
+    /// queue; coming back up just reopens the port — the stale `cut_at` is
+    /// harmless because the loss rule compares it against serialization
+    /// *start* times, and nothing launches on a dead port.
+    fn set_link_alive(&mut self, link: DirLinkId, alive: bool) {
+        let was = self.link_alive[link as usize];
+        if was && !alive {
+            self.link_alive[link as usize] = false;
+            self.cut_at[link as usize] = self.now;
+            self.queues[link as usize].flush_dead();
+        } else if !was && alive {
+            self.link_alive[link as usize] = true;
+        }
+    }
+
+    /// The control plane finishes computing routes for epoch `gen`: swap
+    /// the degraded plane (and its hot-cache, on the fast datapath) in.
+    /// Superseded generations are dropped — the fabric changed again while
+    /// this computation was in flight, and a fresh one is already pending.
+    fn reconverge(&mut self, gen: u32) {
+        let d = self.dynf.as_ref().expect("reconverge without a failure schedule");
+        if gen != d.epoch {
+            return;
+        }
+        let plan = FailurePlan {
+            failed_links: (0..self.edge_ends.len() as u32)
+                .filter(|&e| d.edge_cut[e as usize])
+                .collect(),
+            failed_switches: (0..d.switch_down.len() as u32)
+                .filter(|&s| d.switch_down[s as usize])
+                .collect(),
+        };
+        if plan.failed_links.is_empty() && plan.failed_switches.is_empty() {
+            // Fully repaired: back to the pristine baseline plane.
+            self.swap = None;
+            self.hot = self.base_hot.clone();
+            return;
+        }
+        let (degraded, state) = incremental_rebuild(&d.baseline, &d.topo, &plan)
+            .expect("reconvergence rebuild failed on a schedule validated at install time");
+        let edge_map = plan.surviving_edge_map(&d.topo);
+        debug_assert_eq!(edge_map.len() as u32, degraded.graph.num_edges());
+        self.hot = if self.fast {
+            FibCache::build(&state, degraded.graph.edges()).map(|mut c| {
+                // The cache speaks degraded directed-link ids; rewrite them
+                // to the original link-id space the queues are indexed in
+                // (direction bit is preserved — apply() keeps endpoint
+                // order for surviving edges).
+                c.remap_links(|l| 2 * edge_map[(l >> 1) as usize] + (l & 1));
+                Arc::new(c)
+            })
+        } else {
+            None
+        };
+        self.swap = Some(Box::new(SwapPlane { fs: state, edge_map }));
+    }
+
+    /// Whether a firing RTO belongs to a flow that can never make progress
+    /// again: an endpoint ToR is down, or the active plane has no route
+    /// between the endpoint ToRs — and no control-plane event is pending
+    /// that could change that. Processing such an RTO would retransmit
+    /// into a void and re-arm forever, hanging `run` when `max_time_ns`
+    /// is unbounded; skipping it lets the timer die and the flow end as
+    /// `unfinished`. The decision reads only state shared by both
+    /// datapaths, so they stay bit-identical.
+    fn rto_abandoned(&self, f: FlowId) -> bool {
+        let Some(d) = self.dynf.as_ref() else { return false };
+        if self.ctrl_pending > 0 {
+            return false;
+        }
+        let spec = &self.specs[f as usize];
+        let ssw = self.server_switch[spec.src as usize];
+        let dsw = self.server_switch[spec.dst as usize];
+        if d.switch_down[ssw as usize] || d.switch_down[dsw as usize] {
+            return true;
+        }
+        if ssw == dsw {
+            return false;
+        }
+        !match &self.swap {
+            Some(sw) => sw.fs.reachable(ssw, dsw),
+            None => self.fs.reachable(ssw, dsw),
+        }
+    }
+
+    /// The active plane's next hop as `(next vnode, directed link id)`:
+    /// the reconverged swap plane when one is installed, the baseline
+    /// plane otherwise. `None` means no route exists at this vnode —
+    /// possible only after a failure disconnects it — and the packet must
+    /// be dropped.
+    fn active_hop(&self, router: NodeId, vnode: NodeId, dst: NodeId, h: u64) -> Option<(NodeId, u32)> {
+        let (nv, edge) = match &self.swap {
+            Some(sw) => sw.try_next_hop(vnode, dst, h)?,
+            None => self.fs.next_hop(vnode, dst, h),
+        };
+        let (a, _b) = self.edge_ends[edge as usize];
+        let dir = if router == a { 0 } else { 1 };
+        Some((nv, 2 * edge + dir))
+    }
+
     /// Offers a packet to a directed link, scheduling wire events on start.
     /// Data packets pick up DCTCP ECN marks at congested queues.
     fn offer(&mut self, link: DirLinkId, mut pkt: Packet) {
         self.pkt_hops += 1;
+        if self.dynf.is_some() && !self.link_alive[link as usize] {
+            // Dead port: stale routing keeps steering packets here until
+            // the control plane reconverges; they blackhole at the cut.
+            self.queues[link as usize].drops += 1;
+            return;
+        }
         if self.fast {
             // The port's busy flag must reflect the reference state before
             // any decision reads it.
@@ -494,6 +855,23 @@ impl<F: Forwarding> Simulation<F> {
     }
 
     fn on_arrive(&mut self, link: DirLinkId, pkt: Packet) {
+        if self.dynf.is_some() {
+            let cut = self.cut_at[link as usize];
+            // The packet began serializing at `now - tx - delay`; if the
+            // cable was cut at or after that instant (or is still down),
+            // the packet was lost in flight. Purely a function of event
+            // times, so both datapaths agree bit-for-bit.
+            if !self.link_alive[link as usize]
+                || (cut != NEVER_CUT
+                    && cut
+                        .saturating_add(self.link_delay(link))
+                        .saturating_add(self.cfg.tx_ns(pkt.size))
+                        >= self.now)
+            {
+                self.queues[link as usize].drops += 1;
+                return;
+            }
+        }
         if link >= self.base_down {
             // Server downlink: delivery to the host.
             self.deliver(pkt);
@@ -517,7 +895,7 @@ impl<F: Forwarding> Simulation<F> {
             // folds flow hash, flowlet and ACK salt (XOR commutes), so
             // the hash is bit-identical to the reference expression.
             let h = mix(pkt.hash_base ^ self.switch_salt[router as usize]);
-            let (nv, dir_link) = hot.next_hop(pkt.vnode, pkt.dst_router, h);
+            let hop = hot.try_next_hop(pkt.vnode, pkt.dst_router, h);
             #[cfg(debug_assertions)]
             {
                 let href = mix(
@@ -527,17 +905,20 @@ impl<F: Forwarding> Simulation<F> {
                         ^ if pkt.is_ack { ACK_SALT } else { 0 },
                 );
                 assert_eq!(h, href, "hash_base out of sync with flow/flowlet state");
-                let (rnv, redge) = self.fs.next_hop(pkt.vnode, pkt.dst_router, href);
-                let (a, _b) = self.edge_ends[redge as usize];
-                let rdir = if router == a { 0 } else { 1 };
                 assert_eq!(
-                    (nv, dir_link),
-                    (rnv, 2 * redge + rdir),
-                    "FIB hot-cache diverged from reference forwarding"
+                    hop,
+                    self.active_hop(router, pkt.vnode, pkt.dst_router, href),
+                    "FIB hot-cache diverged from the active forwarding plane"
                 );
             }
-            pkt.vnode = nv;
-            self.offer(dir_link, pkt);
+            match hop {
+                Some((nv, dir_link)) => {
+                    pkt.vnode = nv;
+                    self.offer(dir_link, pkt);
+                }
+                // Disconnected vnode on a degraded plane: packet is gone.
+                None => self.no_route_drops += 1,
+            }
             return;
         }
         let h = mix(
@@ -546,11 +927,13 @@ impl<F: Forwarding> Simulation<F> {
                 ^ ((pkt.flowlet as u64) << 32)
                 ^ if pkt.is_ack { ACK_SALT } else { 0 },
         );
-        let (nv, edge) = self.fs.next_hop(pkt.vnode, pkt.dst_router, h);
-        let (a, _b) = self.edge_ends[edge as usize];
-        let dir = if router == a { 0 } else { 1 };
-        pkt.vnode = nv;
-        self.offer(2 * edge + dir, pkt);
+        match self.active_hop(router, pkt.vnode, pkt.dst_router, h) {
+            Some((nv, dir_link)) => {
+                pkt.vnode = nv;
+                self.offer(dir_link, pkt);
+            }
+            None => self.no_route_drops += 1,
+        }
     }
 
     /// A packet reached its destination server.
@@ -1090,5 +1473,262 @@ mod tests {
         let r = s.run();
         assert_eq!(r.unfinished(), 0);
         assert_eq!(s.switch_link_tx_bytes().iter().sum::<u64>(), 0);
+    }
+
+    // ---- dynamic failures ----
+
+    /// Builds a `Simulation<Arc<ForwardingState>>` with `schedule`
+    /// installed (the `Arc` doubles as the reconvergence baseline).
+    fn sim_with_failures(
+        topo: &Topology,
+        scheme: RoutingScheme,
+        cfg: SimConfig,
+        seed: u64,
+        schedule: FailureSchedule,
+    ) -> Simulation<Arc<ForwardingState>> {
+        let fs = Arc::new(ForwardingState::build(&topo.graph, scheme));
+        let mut s = Simulation::new(topo, Arc::clone(&fs), cfg, seed);
+        s.set_failure_schedule(topo, fs, schedule).unwrap();
+        s
+    }
+
+    /// The core invariant under live failures: the fast and reference
+    /// datapaths must stay bit-identical on every outcome under any
+    /// failure schedule (drop rules are pure functions of event times and
+    /// the reconvergence rebuild consumes no seqs or RNG).
+    fn assert_datapaths_agree_under_failures(
+        topo: &Topology,
+        scheme: RoutingScheme,
+        cfg: SimConfig,
+        seed: u64,
+        schedule: &FailureSchedule,
+    ) {
+        let run = |datapath| {
+            let cfg = SimConfig { datapath, ..cfg };
+            let mut s = sim_with_failures(topo, scheme, cfg, seed, schedule.clone());
+            let n = topo.num_servers();
+            for i in 0..32 {
+                let src = (i * 5) % n;
+                let dst = (i * 13 + 3) % n;
+                if src != dst {
+                    let bytes = if i % 4 == 0 { 600_000 } else { 20_000 };
+                    s.add_flow(src, dst, bytes, (i as u64) * 700).unwrap();
+                }
+            }
+            let r = s.run();
+            let fcts: Vec<Option<Ns>> = r.flows.iter().map(|f| f.fct_ns).collect();
+            (fcts, r.dropped_packets, r.delivered_bytes, s.pkt_hops(), s.switch_link_tx_bytes())
+        };
+        let fast = run(Datapath::Fast);
+        let reference = run(Datapath::Reference);
+        assert_eq!(fast, reference);
+    }
+
+    #[test]
+    fn fast_datapath_matches_reference_under_link_failure() {
+        // Mid-run cut of one cable, reconverging after 100 us; the run
+        // must see packets actually blackholed (drops > 0 is asserted by
+        // the schedule's design: the cut lands while long flows run).
+        let t = small_ls();
+        let cfg = SimConfig { max_time_ns: 200_000_000, ..Default::default() };
+        let sched = FailureSchedule::new(100_000).link_down(2_000_000, 0);
+        assert_datapaths_agree_under_failures(&t, RoutingScheme::Ecmp, cfg, 61, &sched);
+    }
+
+    #[test]
+    fn fast_datapath_matches_reference_under_link_flap() {
+        // Down-then-up on the same cable: the second reconvergence must
+        // restore the pristine baseline plane (and its FIB cache) with
+        // both datapaths still in lockstep.
+        let t = small_ls();
+        let cfg = SimConfig { max_time_ns: 200_000_000, ..Default::default() };
+        let sched = FailureSchedule::new(50_000)
+            .link_down(1_000_000, 3)
+            .link_up(4_000_000, 3);
+        assert_datapaths_agree_under_failures(&t, RoutingScheme::Ecmp, cfg, 62, &sched);
+    }
+
+    #[test]
+    fn fast_datapath_matches_reference_under_switch_failure_on_dring() {
+        // A whole router dies and later returns on the DRing under
+        // Shortest-Union(2): incident cables and the rack's server links
+        // all cut at once, stranding that rack's flows until repair.
+        let t = DRing::uniform(6, 2, 24).build();
+        let cfg = SimConfig { max_time_ns: 200_000_000, ..Default::default() };
+        let sched = FailureSchedule::new(100_000)
+            .switch_down(1_500_000, 3)
+            .switch_up(8_000_000, 3);
+        assert_datapaths_agree_under_failures(&t, RoutingScheme::ShortestUnion(2), cfg, 63, &sched);
+    }
+
+    #[test]
+    fn failure_drops_are_accounted() {
+        // Cutting the only spine path a flow is pinned to mid-transfer
+        // must record blackholed packets in dropped_packets. DCTCP keeps
+        // the queues below the drop point, so every drop in the cut run
+        // is failure-induced, not congestion.
+        let t = small_ls();
+        let run = |sched: FailureSchedule| {
+            let cfg = SimConfig {
+                max_time_ns: 50_000_000,
+                transport: crate::types::Transport::Dctcp,
+                ..Default::default()
+            };
+            let mut s = sim_with_failures(&t, RoutingScheme::Ecmp, cfg, 64, sched);
+            s.add_flow(0, 23, 1_000_000, 0).unwrap();
+            s.run()
+        };
+        let clean = run(FailureSchedule::new(100_000));
+        assert_eq!(clean.dropped_packets, 0, "empty schedule must be a no-op");
+        assert_eq!(clean.unfinished(), 0);
+        // Cut every leaf0<->spine cable briefly: whatever path the flow
+        // hashed to dies under it.
+        let mut sched = FailureSchedule::new(100_000);
+        for (e, &(a, b)) in t.graph.edges().iter().enumerate() {
+            if a == 0 || b == 0 {
+                sched = sched.link_down(200_000, e as u32).link_up(1_000_000, e as u32);
+            }
+        }
+        let cut = run(sched);
+        assert!(cut.dropped_packets > 0, "no packet hit the cut");
+        assert_eq!(cut.unfinished(), 0, "flow must recover after repair");
+        let f = &cut.flows[0];
+        assert!(f.retransmits > 0 && f.timeouts > 0, "{f:?}");
+    }
+
+    #[test]
+    fn severed_rack_ends_unfinished_without_hanging() {
+        // Both routers a rack could reach die and never come back, with
+        // max_time_ns unbounded: the starvation guard must let the severed
+        // flow's RTO die (ending it as unfinished) instead of re-arming
+        // forever, while unaffected flows complete normally.
+        let t = DRing::uniform(6, 2, 24).build();
+        let cfg = SimConfig::default(); // max_time_ns = u64::MAX
+        let sched = FailureSchedule::new(100_000)
+            .switch_down(50_000, 0)
+            .switch_down(50_000, 1);
+        let mut s = sim_with_failures(&t, RoutingScheme::ShortestUnion(2), cfg, 65, sched);
+        let victim_src = t.servers_on(0).start;
+        let remote = t.servers_on(6).start;
+        let bystander_src = t.servers_on(4).start;
+        let victim = s.add_flow(victim_src, remote, 5_000_000, 0).unwrap();
+        let bystander = s.add_flow(bystander_src, remote, 200_000, 0).unwrap();
+        let r = s.run();
+        assert!(r.flows[victim as usize].fct_ns.is_none(), "severed flow cannot finish");
+        assert!(r.flows[bystander as usize].fct_ns.is_some(), "unaffected flow must finish");
+        assert!(r.end_ns < u64::MAX, "the event queue must drain");
+    }
+
+    #[test]
+    fn reconvergence_recovers_flow_with_fewer_retransmits() {
+        // The acceptance demo in test form: cut the data path's first-hop
+        // cable mid-flow. With a 100 us reconvergence the flow survives by
+        // rerouting; with a control plane that never reacts every RTO
+        // retransmits into the blackhole. Reconvergence must complete the
+        // flow with strictly fewer retransmissions.
+        let t = small_ls();
+        // Probe run (same seed => same ECMP hash => same path) to find the
+        // cable carrying the flow's data: the max-bytes edge at leaf 0.
+        let probe_edge = {
+            let fs = Arc::new(ForwardingState::build(&t.graph, RoutingScheme::Ecmp));
+            let mut s = Simulation::new(&t, fs, SimConfig::default(), 66);
+            s.add_flow(0, 23, 1_000_000, 0).unwrap();
+            s.run();
+            let tx = s.switch_link_tx_bytes();
+            (0..t.graph.num_edges())
+                .filter(|&e| {
+                    let (a, b) = t.graph.edges()[e as usize];
+                    a == 0 || b == 0
+                })
+                .max_by_key(|&e| tx[2 * e as usize] + tx[2 * e as usize + 1])
+                .expect("leaf 0 has uplinks")
+        };
+        // A 30 s horizon for both runs: the reconverged flow finishes in
+        // ~1 ms; the blackholed one keeps burning an RTO retransmission
+        // every backed-off timeout (capped at 256 ms) for the full 30 s,
+        // which is the real cost of a control plane that never reacts.
+        let run = |delay: Ns| {
+            let cfg = SimConfig { max_time_ns: 30_000_000_000, ..Default::default() };
+            let sched = FailureSchedule::new(delay).link_down(100_000, probe_edge);
+            let mut s = sim_with_failures(&t, RoutingScheme::Ecmp, cfg, 66, sched);
+            s.add_flow(0, 23, 1_000_000, 0).unwrap();
+            s.run()
+        };
+        let reconv = run(100_000);
+        let blackhole = run(3_600_000_000_000); // control plane never reacts
+        let rf = &reconv.flows[0];
+        let bf = &blackhole.flows[0];
+        assert!(rf.fct_ns.is_some(), "reconvergence must let the flow finish: {rf:?}");
+        assert!(bf.fct_ns.is_none(), "a permanent blackhole cannot finish: {bf:?}");
+        assert!(
+            rf.retransmits < bf.retransmits,
+            "reconvergence {} rtx vs blackhole {} rtx",
+            rf.retransmits,
+            bf.retransmits
+        );
+    }
+
+    #[test]
+    fn repair_restores_pristine_plane_and_cache() {
+        // After a full down->up cycle plus reconvergence the engine must
+        // be back on the baseline plane with the FIB hot-cache re-armed.
+        let t = small_ls();
+        let cfg = SimConfig { max_time_ns: 100_000_000, ..Default::default() };
+        let sched = FailureSchedule::new(50_000).link_down(50_000, 2).link_up(500_000, 2);
+        let mut s = sim_with_failures(&t, RoutingScheme::Ecmp, cfg, 67, sched);
+        s.add_flow(0, 23, 2_000_000, 0).unwrap();
+        let r = s.run();
+        assert_eq!(r.unfinished(), 0);
+        assert!(r.used_fib_cache, "repair must restore the baseline hot-cache");
+        assert!(s.uses_fib_cache());
+    }
+
+    #[test]
+    fn failure_schedule_validation() {
+        let t = small_ls();
+        let fs = Arc::new(ForwardingState::build(&t.graph, RoutingScheme::Ecmp));
+        let mut s = Simulation::new(&t, Arc::clone(&fs), SimConfig::default(), 68);
+        let ne = t.graph.num_edges();
+        let err = s
+            .set_failure_schedule(&t, Arc::clone(&fs), FailureSchedule::new(0).link_down(0, ne))
+            .unwrap_err();
+        assert_eq!(err, SimError::BadLink(ne));
+        let err = s
+            .set_failure_schedule(&t, Arc::clone(&fs), FailureSchedule::new(0).switch_up(0, 99))
+            .unwrap_err();
+        assert_eq!(err, SimError::BadSwitch(99));
+        // A plane built for a different topology is rejected.
+        let other = DRing::uniform(6, 2, 24).build();
+        let ofs = Arc::new(ForwardingState::build(&other.graph, RoutingScheme::Ecmp));
+        let err = s.set_failure_schedule(&t, ofs, FailureSchedule::new(0)).unwrap_err();
+        assert_eq!(err, SimError::PlaneMismatch);
+        s.set_failure_schedule(&t, Arc::clone(&fs), FailureSchedule::new(0)).unwrap();
+        let err = s.set_failure_schedule(&t, fs, FailureSchedule::new(0)).unwrap_err();
+        assert_eq!(err, SimError::ScheduleAlreadySet);
+    }
+
+    #[test]
+    fn fast_fallback_is_surfaced_in_report() {
+        // The fast datapath silently degrades to per-hop walks when the
+        // plane exposes no FIB cache (e.g. DualPlane); the report must say
+        // so instead of letting drivers publish slow-walk numbers as
+        // fast-path throughput.
+        use spineless_routing::DualPlane;
+        let t = DRing::uniform(6, 2, 24).build();
+        let dual = DualPlane::by_path_count(&t.graph, 2, 4);
+        let mut s = Simulation::new(&t, dual, SimConfig::default(), 69);
+        s.add_flow(0, 13, 20_000, 0).unwrap();
+        assert!(!s.run().used_fib_cache, "DualPlane fallback must be surfaced");
+
+        let fs = ForwardingState::build(&t.graph, RoutingScheme::Ecmp);
+        let mut s = Simulation::new(&t, fs, SimConfig::default(), 69);
+        s.add_flow(0, 13, 20_000, 0).unwrap();
+        assert!(s.run().used_fib_cache);
+
+        let fs = ForwardingState::build(&t.graph, RoutingScheme::Ecmp);
+        let cfg = SimConfig { datapath: Datapath::Reference, ..Default::default() };
+        let mut s = Simulation::new(&t, fs, cfg, 69);
+        s.add_flow(0, 13, 20_000, 0).unwrap();
+        assert!(!s.run().used_fib_cache, "reference datapath walks per hop");
     }
 }

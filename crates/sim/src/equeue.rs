@@ -818,6 +818,51 @@ mod tests {
     }
 
     #[test]
+    fn control_events_with_saturated_reconverge_deadlines_stay_ordered() {
+        // The failure subsystem's event pattern: a few absolute-time
+        // control events pushed at install time (t=0 wheel position),
+        // then, mid-run, `Reconverge` deadlines at `now + delay` where
+        // the delay can be hours — or saturate to Ns::MAX for a
+        // never-reconverging baseline. The saturated deadline must sort
+        // after every real event and never wedge the wheel.
+        let mut cal: CalendarQueue<E> = CalendarQueue::with_geometry(11, 2048);
+        let mut heap: HeapQueue<E> = HeapQueue::new();
+        let mut seq = 0u64;
+        let mut push = |cal: &mut CalendarQueue<E>, heap: &mut HeapQueue<E>, t: Ns| {
+            seq += 1;
+            cal.push(t, seq, seq as u32);
+            heap.push(t, seq, seq as u32);
+        };
+        // Install-time control events plus initial traffic.
+        for t in [2_000_000u64, 5_000_000, 5_000_000] {
+            push(&mut cal, &mut heap, t);
+        }
+        for i in 0..100u64 {
+            push(&mut cal, &mut heap, i * 1_700);
+        }
+        let mut now = 0;
+        let mut popped = 0u32;
+        loop {
+            let a = cal.pop();
+            assert_eq!(a, heap.pop());
+            let Some((t, _, _)) = a else { break };
+            assert!(t >= now);
+            now = t;
+            popped += 1;
+            // Mid-run reconverge deadlines: a sane 100 µs one, an
+            // hours-away one, and a saturating never-reconverge one.
+            match popped {
+                40 => push(&mut cal, &mut heap, now + 100_000),
+                60 => push(&mut cal, &mut heap, now.saturating_add(3_600_000_000_000)),
+                80 => push(&mut cal, &mut heap, now.saturating_add(Ns::MAX)),
+                _ => {}
+            }
+        }
+        assert_eq!(popped, 106);
+        assert!(cal.is_empty() && heap.is_empty());
+    }
+
+    #[test]
     fn push_at_current_time_is_returned_before_advancing() {
         let mut q = CalendarQueue::with_geometry(4, 8);
         q.push(100, 1, 1u32);

@@ -1,0 +1,115 @@
+//! Dynamic fault injection: timed link/switch failures *during* a packet
+//! simulation, with control-plane reconvergence after a configurable delay.
+//!
+//! The paper's §7 asks how quickly routing can converge around failures in
+//! a flat network; the static machinery (`routing::failures`) answers with
+//! control-plane rounds, but no packet ever experiences a link dying. A
+//! [`FailureSchedule`] closes that gap: its events are injected into the
+//! engine's `(time, insertion seq)` event stream, so a cable is cut while
+//! flows are in flight, in-flight packets on the cable are lost, the stale
+//! plane blackholes traffic until the reconvergence delay elapses, and then
+//! the engine swaps in routing state rebuilt by
+//! `routing::failures::incremental_rebuild` — TCP recovers through its
+//! ordinary RTO/retransmit machinery.
+//!
+//! Determinism: the schedule is part of the event stream, every drop rule
+//! is a pure function of event times, and the rebuild consumes no RNG and
+//! no event seqs — so the fast and reference datapaths stay bit-identical
+//! under any schedule (pinned by engine tests and `tests/proptest_sim.rs`).
+
+use crate::types::Ns;
+use serde::{Deserialize, Serialize};
+use spineless_graph::{EdgeId, NodeId};
+
+/// One timed fault (or repair) of the physical fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureEvent {
+    /// Cut a cable: both directed links die, waiting packets are flushed
+    /// (charged to `dropped_packets`), packets on the wire are lost.
+    LinkDown(EdgeId),
+    /// Splice a cable back in. Routing uses it again only after the next
+    /// reconvergence completes.
+    LinkUp(EdgeId),
+    /// Power a switch off: every incident cable dies, and the switch's
+    /// servers lose their uplink/downlink (they are stranded, not removed —
+    /// their flows simply stop making progress).
+    SwitchDown(NodeId),
+    /// Power a switch back on.
+    SwitchUp(NodeId),
+}
+
+/// A timed sequence of [`FailureEvent`]s plus the control-plane
+/// reconvergence delay, installed into a simulation with
+/// `Simulation::set_failure_schedule`.
+///
+/// Every event triggers a reconvergence `reconverge_delay_ns` later; if
+/// several events land inside one delay window, only the final
+/// reconvergence rebuilds state (superseded ones are no-ops), mirroring a
+/// control plane that converges on the *current* topology, not on each
+/// intermediate one.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureSchedule {
+    /// `(time, event)` pairs. Order is free; same-time events apply in
+    /// list order (their control events tie-break by insertion seq).
+    pub events: Vec<(Ns, FailureEvent)>,
+    /// Delay between a fault and the routing plane reacting to it. Use a
+    /// delay past `max_time_ns` to model a control plane that never
+    /// reacts (the blackhole baseline).
+    pub reconverge_delay_ns: Ns,
+}
+
+impl FailureSchedule {
+    /// An empty schedule with the given reconvergence delay.
+    pub fn new(reconverge_delay_ns: Ns) -> FailureSchedule {
+        FailureSchedule { events: Vec::new(), reconverge_delay_ns }
+    }
+
+    /// Appends a [`FailureEvent::LinkDown`] at `t` (builder style).
+    pub fn link_down(mut self, t: Ns, edge: EdgeId) -> Self {
+        self.events.push((t, FailureEvent::LinkDown(edge)));
+        self
+    }
+
+    /// Appends a [`FailureEvent::LinkUp`] at `t`.
+    pub fn link_up(mut self, t: Ns, edge: EdgeId) -> Self {
+        self.events.push((t, FailureEvent::LinkUp(edge)));
+        self
+    }
+
+    /// Appends a [`FailureEvent::SwitchDown`] at `t`.
+    pub fn switch_down(mut self, t: Ns, sw: NodeId) -> Self {
+        self.events.push((t, FailureEvent::SwitchDown(sw)));
+        self
+    }
+
+    /// Appends a [`FailureEvent::SwitchUp`] at `t`.
+    pub fn switch_up(mut self, t: Ns, sw: NodeId) -> Self {
+        self.events.push((t, FailureEvent::SwitchUp(sw)));
+        self
+    }
+
+    /// Whether the schedule contains no events (a no-op install).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_in_order() {
+        let s = FailureSchedule::new(50_000)
+            .link_down(1_000, 3)
+            .switch_down(2_000, 1)
+            .link_up(5_000, 3)
+            .switch_up(6_000, 1);
+        assert_eq!(s.reconverge_delay_ns, 50_000);
+        assert_eq!(s.events.len(), 4);
+        assert_eq!(s.events[0], (1_000, FailureEvent::LinkDown(3)));
+        assert_eq!(s.events[3], (6_000, FailureEvent::SwitchUp(1)));
+        assert!(!s.is_empty());
+        assert!(FailureSchedule::new(0).is_empty());
+    }
+}

@@ -30,6 +30,7 @@
 
 pub mod engine;
 pub mod equeue;
+pub mod failure;
 pub mod link;
 pub mod packet;
 pub mod tcp;
@@ -37,4 +38,5 @@ pub mod types;
 
 pub use engine::Simulation;
 pub use equeue::{CalendarQueue, EventQueue, HeapQueue, TimerWheel};
+pub use failure::{FailureEvent, FailureSchedule};
 pub use types::{Datapath, FlowId, FlowRecord, Scheduler, SimConfig, SimReport};

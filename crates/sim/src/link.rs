@@ -105,6 +105,19 @@ impl LinkQueue {
         self.busy = false;
     }
 
+    /// The cable died: every waiting packet is lost (charged to this
+    /// queue's `drops`). The wire/busy state is untouched — the packet
+    /// being serialized is handled by the engine's in-flight drop rule,
+    /// and an already-scheduled `TxDone` simply finds an empty queue and
+    /// idles the port. Returns how many packets were flushed.
+    pub fn flush_dead(&mut self) -> u64 {
+        let n = self.queue.len() as u64;
+        self.queue.clear();
+        self.queued_bytes = 0;
+        self.drops += n;
+        n
+    }
+
     /// Whether any packet waits behind the wire (the in-flight packet,
     /// if any, does not count).
     pub fn has_queued(&self) -> bool {
@@ -159,6 +172,21 @@ mod tests {
         assert_eq!(q.offer(pkt(1500), 2000, None), Offer::Dropped);
         assert_eq!(q.offer(pkt(400), 2000, None), Offer::Queued);
         assert_eq!(q.backlog_bytes(), 1900);
+    }
+
+    #[test]
+    fn flush_dead_drops_waiting_packets_only() {
+        let mut q = LinkQueue::new();
+        q.offer(pkt(100), 10_000, None); // on the wire
+        q.offer(pkt(200), 10_000, None);
+        q.offer(pkt(300), 10_000, None);
+        assert_eq!(q.flush_dead(), 2);
+        assert_eq!(q.drops, 2);
+        assert_eq!(q.backlog_bytes(), 0);
+        assert!(q.is_busy(), "the in-flight packet is the engine's problem");
+        // tx_bytes counts only what reached the wire.
+        assert_eq!(q.tx_bytes, 100);
+        assert!(q.tx_done().is_none());
     }
 
     #[test]

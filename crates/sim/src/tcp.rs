@@ -301,7 +301,15 @@ impl TcpSender {
         self.rtx_epoch += 1;
         self.ssthresh = (self.cwnd / 2.0).max(2.0);
         self.cwnd = 1.0;
-        self.in_recovery = false;
+        // An RTO means everything in flight is presumed lost: enter loss
+        // recovery up to `next_seq` so each partial ACK retransmits the
+        // next hole immediately (RFC 6582 §3.2). Without this, recovery
+        // after a full-window loss (e.g. a link cut under the flow) crawls
+        // at one segment per *RTO* instead of one per RTT, because the
+        // hole's ACK finds the window full and nothing retransmits until
+        // the next timeout.
+        self.in_recovery = true;
+        self.recover = self.next_seq;
         self.dup_acks = 0;
         self.backoff = (self.backoff + 1).min(8);
         self.retransmit_hole(out);
@@ -546,6 +554,26 @@ mod tests {
         // Backoff doubles the next deadline.
         let (d2, _) = o.set_timer.unwrap();
         assert_eq!(d2, deadline + 2 * MIN_RTO);
+    }
+
+    #[test]
+    fn rto_enters_loss_recovery_for_whole_window() {
+        // A full in-flight window is lost (e.g. a link cut under the
+        // flow). After the RTO retransmits the head hole, the hole's
+        // *partial* ACK must retransmit the next hole immediately —
+        // recovery proceeds at one segment per RTT, not one per RTO.
+        let mut s = sender(100_000);
+        let o = s.start(0);
+        assert_eq!(o.send.len(), 2); // seqs 0 and 1000 — both presumed lost
+        let (deadline, gen) = o.set_timer.unwrap();
+        let o = s.on_timer(deadline, gen);
+        assert_eq!(o.send[0], SendAction { seq: 0, size: 1000, is_rtx: true });
+        let o = s.on_ack(deadline + 100, 1000, deadline, 1);
+        assert!(
+            o.send.iter().any(|a| a.seq == 1000 && a.is_rtx),
+            "partial ACK after RTO must retransmit the next hole: {:?}",
+            o.send
+        );
     }
 
     #[test]

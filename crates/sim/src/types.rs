@@ -173,6 +173,15 @@ pub struct SimReport {
     pub end_ns: Ns,
     /// Total events processed.
     pub events: u64,
+    /// Whether the run finished with the fast datapath forwarding through
+    /// a FIB hot-cache. `false` either because the reference datapath was
+    /// selected, or because [`SimConfig::datapath`] asked for `Fast` but
+    /// the forwarding plane exposes no cache (e.g. `DualPlane`) or the
+    /// cache exceeded its byte budget — i.e. the fast path silently fell
+    /// back to per-hop walks. Drivers should surface that fallback instead
+    /// of reporting fast-path throughput for a slow-path run.
+    #[serde(default)]
+    pub used_fib_cache: bool,
 }
 
 impl SimReport {
@@ -226,6 +235,7 @@ mod tests {
             delivered_bytes: 0,
             end_ns: 10,
             events: 3,
+            used_fib_cache: true,
         };
         assert_eq!(r.fcts(), vec![5, 9]);
         assert_eq!(r.unfinished(), 1);

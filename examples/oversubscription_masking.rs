@@ -19,13 +19,15 @@ fn main() {
     let flat = flatten(&ls, 7).expect("flat rewiring");
     println!("baseline : {}", ls.name);
     println!("rewired  : {} (same {} switches, {} servers)", flat.name, flat.num_switches(), flat.num_servers());
+    let nsr_ls = nsr(&ls).expect("leaf-spine is connected with >=2 racks");
+    let nsr_flat = nsr(&flat).expect("flat rewiring preserves connectivity");
     println!(
         "NSR      : leaf-spine {:.3} (analytic {:.3}), flat {:.3} (analytic {:.3}) => UDF = {:.2}\n",
-        nsr(&ls).unwrap().mean,
+        nsr_ls.mean,
         nsr_leafspine(x, y),
-        nsr(&flat).unwrap().mean,
+        nsr_flat.mean,
         nsr_flat_of_leafspine(x, y),
-        nsr(&flat).unwrap().mean / nsr(&ls).unwrap().mean,
+        nsr_flat.mean / nsr_ls.mean,
     );
 
     let fs_ls = ForwardingState::build(&ls.graph, RoutingScheme::Ecmp);

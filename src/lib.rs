@@ -30,7 +30,7 @@
 //! // Route the DRing with Shortest-Union(2) and simulate a few flows.
 //! let fs = ForwardingState::build(&topos.dring.graph, RoutingScheme::ShortestUnion(2));
 //! let mut sim = Simulation::new(&topos.dring, fs, SimConfig::default(), 42);
-//! sim.add_flow(0, 100, 200_000, 0).unwrap();
+//! sim.add_flow(0, 100, 200_000, 0).expect("valid flow");
 //! let report = sim.run();
 //! assert_eq!(report.unfinished(), 0);
 //! ```
@@ -52,7 +52,9 @@ pub mod prelude {
     pub use spineless_core::topos::{EvalTopos, Scale};
     pub use spineless_fluid::solve as fluid_solve;
     pub use spineless_routing::{ForwardingState, RoutingScheme, VrfGraph};
-    pub use spineless_sim::{Datapath, Scheduler, SimConfig, SimReport, Simulation};
+    pub use spineless_sim::{
+        Datapath, FailureEvent, FailureSchedule, Scheduler, SimConfig, SimReport, Simulation,
+    };
     pub use spineless_topo::dring::DRing;
     pub use spineless_topo::leafspine::LeafSpine;
     pub use spineless_topo::rrg::Rrg;

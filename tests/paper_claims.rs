@@ -72,12 +72,14 @@ fn claim_bgp_realizes_shortest_union() {
 /// through the full packet simulator. The claim is statistical, so it is
 /// pinned on the *mean* tail over a small seed family rather than one
 /// workload draw — a single draw's winner is a property of the RNG
-/// stream, not of the topologies.
+/// stream, not of the topologies. Load is 0.4: at lower loads the small
+/// evaluation scale is underloaded and the tail is set by isolated incast
+/// timeouts rather than the skew-driven congestion the claim is about.
 #[test]
 fn claim_flat_beats_leafspine_on_skewed_fct() {
     let topos = EvalTopos::build(Scale::Small, 7);
     let window = 1_500_000;
-    let offered = topos.offered_bytes(0.3, window, 10.0);
+    let offered = topos.offered_bytes(0.4, window, 10.0);
     let mut ls_p99 = 0.0;
     let mut dr_p99 = 0.0;
     const SEEDS: u64 = 4;

@@ -291,6 +291,82 @@ proptest! {
         prop_assert_eq!(run(Datapath::Fast), run(Datapath::Reference));
     }
 
+    /// Datapath equivalence under live fault injection: a random schedule
+    /// of link/switch down/up events (including repairs of never-failed
+    /// elements and repeat cuts, which must be idempotent) with a random
+    /// reconvergence delay — from "reacts in 50 us" to "never reacts
+    /// within the horizon", the blackhole regime. The fast and reference
+    /// paths must produce identical FCTs, finished/unfinished splits,
+    /// drops, delivered bytes, packet-hops, and per-link tx bytes, and
+    /// the accounting must stay physical: delivered bytes (which count
+    /// duplicate deliveries from retransmissions) cover every finished
+    /// flow in full.
+    #[test]
+    fn datapaths_agree_under_random_failure_schedules(
+        (topo, scheme, flows, dctcp, flowlets) in datapath_topo_and_flows(),
+        raw_events in prop::collection::vec(
+            (0u64..3_000_000, 0u8..4, any::<u32>()), 1..6),
+        delay in prop_oneof![
+            Just(50_000u64),
+            Just(100_000u64),
+            Just(500_000u64),
+            // Far beyond the horizon: the control plane never reacts.
+            Just(3_600_000_000_000u64)
+        ],
+    ) {
+        use spineless::sim::types::Transport;
+        use std::sync::Arc;
+        let ne = topo.graph.edges().len() as u32;
+        let nsw = topo.num_switches();
+        let mut sched = FailureSchedule::new(delay);
+        for &(t, kind, target) in &raw_events {
+            sched = match kind {
+                0 => sched.link_down(t, target % ne),
+                1 => sched.link_up(t, target % ne),
+                2 => sched.switch_down(t, target % nsw),
+                _ => sched.switch_up(t, target % nsw),
+            };
+        }
+        let run = |datapath| {
+            let fs = Arc::new(ForwardingState::build(&topo.graph, scheme));
+            let cfg = SimConfig {
+                datapath,
+                // Finite horizon: a blackholed or stranded flow must end
+                // the run instead of hanging it.
+                max_time_ns: 20_000_000,
+                transport: if dctcp { Transport::Dctcp } else { Transport::NewReno },
+                flowlet_gap_ns: if flowlets { Some(10_000) } else { None },
+                ..Default::default()
+            };
+            let mut sim = Simulation::new(&topo, Arc::clone(&fs), cfg, 5);
+            for &(s, d, b, t) in &flows {
+                let _ = sim.add_flow(s, d, b, t);
+            }
+            sim.set_failure_schedule(&topo, fs, sched.clone())
+                .expect("schedule targets this topology's own elements");
+            let r = sim.run();
+            let finished_bytes: u64 =
+                r.flows.iter().filter(|f| f.fct_ns.is_some()).map(|f| f.bytes).sum();
+            let hops = sim.pkt_hops();
+            let tx = sim.switch_link_tx_bytes();
+            (
+                r.fcts(),
+                r.unfinished(),
+                r.dropped_packets,
+                r.delivered_bytes,
+                hops,
+                tx,
+                finished_bytes,
+            )
+        };
+        let fast = run(Datapath::Fast);
+        prop_assert!(
+            fast.3 >= fast.6,
+            "delivered {} below finished flows' {}", fast.3, fast.6
+        );
+        prop_assert_eq!(fast, run(Datapath::Reference));
+    }
+
     /// The RTO timer wheel against a sorted-set model: arbitrary
     /// interleavings of (re-)arms, cancels, and bounded sweeps drain in
     /// exact `(time, seq)` order with the right `(key, gen)` payloads,
