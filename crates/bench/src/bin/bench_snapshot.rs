@@ -25,7 +25,7 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use spineless_bench::parse_args;
+use spineless_bench::{parse_args_quick, warn_if_serial_fallback};
 use spineless_core::fct::{
     generate_workload, paper_combos, run_cell, run_cell_with, FctCell, FctConfig, TmKind,
 };
@@ -34,8 +34,13 @@ use spineless_core::{EvalTopos, RoutingCache, Scale};
 use spineless_fluid::{max_min_rates, max_min_rates_reference, LinkSpace};
 use spineless_routing::failures::{incremental_rebuild, FailurePlan};
 use spineless_routing::{Forwarding, ForwardingState, RoutingScheme};
-use spineless_sim::{Datapath, FailureSchedule, Scheduler, SimConfig, Simulation};
+use spineless_sim::shard::AUTO_CALENDAR_EVENT_THRESHOLD;
+use spineless_sim::{
+    choose_engine, estimate_events, Datapath, EngineChoice, ExecMode, FailureSchedule, Scheduler,
+    ShardedSimulation, SimConfig, Simulation,
+};
 use spineless_topo::dring::DRing;
+use spineless_workload::pareto::ParetoFlowSizes;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -122,10 +127,193 @@ fn assert_grids_identical(a: &[FctCell], b: &[FctCell], what: &str) {
     }
 }
 
+/// One at-scale tier (`scale=paper` / `scale=production`): the regime the
+/// sharded engine exists for. Measures the serial engine under both
+/// schedulers and the sharded engine across shard counts on one heavy
+/// uniform-TM DRing workload, asserts the sharded family is bit-identical
+/// at every shard count, and asserts the adaptive selector's choice is
+/// never a measured-slower configuration. Returns a JSON fragment
+/// (`,\n  "scale_<tier>": {...}`).
+fn run_scale_tier(scale: Scale, quick: bool, seed: u64, threads: usize) -> String {
+    let label = match scale {
+        Scale::Paper => "paper",
+        Scale::Production => "production",
+        Scale::Small => unreachable!("small tier is the base snapshot"),
+    };
+    let topo = EvalTopos::dring_config(scale).build();
+    let scheme = RoutingScheme::ShortestUnion(2);
+    let fs = Arc::new(ForwardingState::build(&topo.graph, scheme));
+    // Production pins ≥10⁵ flows regardless of --quick — the tier's whole
+    // point; paper shrinks under --quick so CI stays fast.
+    let target_flows: u64 = match (scale, quick) {
+        (Scale::Production, _) => 100_000,
+        (Scale::Paper, true) => 6_000,
+        (Scale::Paper, false) => 25_000,
+        (Scale::Small, _) => unreachable!(),
+    };
+    let window_ns: u64 = if scale == Scale::Production { 2_000_000 } else { 1_000_000 };
+    let sizes = ParetoFlowSizes::paper();
+    let offered = (target_flows as f64 * sizes.truncated_mean()) as u64;
+    let flows = generate_workload(TmKind::Uniform, &topo, offered, window_ns, seed);
+    let nflows = flows.flows.len();
+    let cfg = SimConfig::default();
+    let est = estimate_events(flows.flows.iter().map(|f| f.bytes), cfg.mss_bytes);
+    eprintln!(
+        "scale={label}: dring {} racks / {} servers, {nflows} flows over {window_ns} ns, ~{est} est events"
+    , topo.num_racks(), topo.num_servers());
+
+    // Serial engine, both schedulers (identical results by construction).
+    let run_serial = |scheduler| {
+        let cfg = SimConfig { scheduler, ..cfg };
+        let mut sim = Simulation::new(&topo, &*fs, cfg, seed);
+        for f in &flows.flows {
+            sim.add_flow(f.src, f.dst, f.bytes, f.start_ns).expect("valid flow");
+        }
+        let t0 = Instant::now();
+        let r = sim.run();
+        (t0.elapsed().as_secs_f64(), r)
+    };
+    let (heap_s, heap_r) = run_serial(Scheduler::ReferenceHeap);
+    let (cal_s, cal_r) = run_serial(Scheduler::Calendar);
+    assert_eq!(heap_r.fcts(), cal_r.fcts(), "scale={label}: serial schedulers diverged");
+    eprintln!(
+        "scale={label}: serial heap {heap_s:.2}s ({:.2e} ev/s) vs calendar {cal_s:.2}s ({:.2e} ev/s)",
+        heap_r.events as f64 / heap_s,
+        cal_r.events as f64 / cal_s
+    );
+
+    // Sharded engine across shard counts — every count must produce the
+    // identical report (the at-scale equivalence check, on top of the
+    // engine tests and proptest).
+    let shard_counts = [1u32, 2, 4, 8];
+    let mut rows = String::new();
+    let mut shard_walls: Vec<(u32, f64)> = Vec::new();
+    let mut pinned: Option<(spineless_sim::SimReport, u64, Vec<u64>)> = None;
+    let best_serial = heap_s.min(cal_s);
+    for &k in &shard_counts {
+        let mut sim = ShardedSimulation::new(&topo, fs.clone(), cfg, seed, k, ExecMode::Parallel);
+        for f in &flows.flows {
+            sim.add_flow(f.src, f.dst, f.bytes, f.start_ns).expect("valid flow");
+        }
+        let t0 = Instant::now();
+        let r = sim.run();
+        let wall = t0.elapsed().as_secs_f64();
+        let outcome = (r, sim.pkt_hops(), sim.switch_link_tx_bytes());
+        match &pinned {
+            None => pinned = Some(outcome),
+            Some(p) => assert_eq!(
+                (&outcome.0, outcome.1, &outcome.2),
+                (&p.0, p.1, &p.2),
+                "scale={label}: sharded engine diverged at {k} shards"
+            ),
+        }
+        let events = pinned.as_ref().expect("pinned above").0.events;
+        eprintln!(
+            "scale={label}: sharded k={k} {wall:.2}s ({:.2e} ev/s, {:.2}x vs best serial)",
+            events as f64 / wall,
+            best_serial / wall
+        );
+        if !rows.is_empty() {
+            rows.push_str(",\n      ");
+        }
+        rows.push_str(&format!(
+            r#"{{ "shards": {k}, "wall_s": {wall:.3}, "events_per_sec": {:.0}, "speedup_vs_best_serial": {:.3} }}"#,
+            events as f64 / wall,
+            best_serial / wall
+        ));
+        shard_walls.push((k, wall));
+    }
+    let (pr, phops, _) = pinned.expect("at least one shard run");
+
+    // Adaptive selection: measure what the selector picks and demand it
+    // is never slower than any measured alternative (within noise).
+    let choice = choose_engine(topo.num_switches(), est, threads as u32);
+    warn_if_serial_fallback(scale, choice, &format!("bench_snapshot/scale_{label}"));
+    let (choice_label, choice_wall) = match choice {
+        EngineChoice::SerialHeap => ("serial_heap".to_owned(), heap_s),
+        EngineChoice::SerialCalendar => ("serial_calendar".to_owned(), cal_s),
+        EngineChoice::Sharded { shards } => (
+            format!("sharded_{shards}"),
+            shard_walls
+                .iter()
+                .find(|&&(k, _)| k == shards)
+                .map(|&(_, w)| w)
+                .unwrap_or_else(|| {
+                    // Selector picked a count outside the sweep (wide
+                    // hosts): measure it directly.
+                    let mut sim = ShardedSimulation::new(
+                        &topo,
+                        fs.clone(),
+                        cfg,
+                        seed,
+                        shards,
+                        ExecMode::Parallel,
+                    );
+                    for f in &flows.flows {
+                        sim.add_flow(f.src, f.dst, f.bytes, f.start_ns).expect("valid flow");
+                    }
+                    let t0 = Instant::now();
+                    sim.run();
+                    t0.elapsed().as_secs_f64()
+                }),
+        ),
+    };
+    let fastest = shard_walls
+        .iter()
+        .map(|&(_, w)| w)
+        .fold(best_serial, f64::min);
+    assert!(
+        choice_wall <= fastest * 1.25,
+        "scale={label}: adaptive selector chose {choice_label} ({choice_wall:.2}s) but the \
+         fastest measured configuration took {fastest:.2}s"
+    );
+    let speedup_4 = shard_walls
+        .iter()
+        .find(|&&(k, _)| k == 4)
+        .map(|&(_, w)| best_serial / w)
+        .expect("4-shard run present");
+
+    format!(
+        r#",
+  "scale_{label}": {{
+    "topology": "dring {racks} racks / {servers} servers, shortest-union(2)",
+    "workload": "uniform TM, {nflows} flows over {window_ns} ns window",
+    "estimated_events": {est},
+    "serial_events": {serial_events},
+    "sharded_events": {sharded_events},
+    "serial_heap": {{ "wall_s": {heap_s:.3}, "events_per_sec": {heap_eps:.0} }},
+    "serial_calendar": {{ "wall_s": {cal_s:.3}, "events_per_sec": {cal_eps:.0} }},
+    "sharded": [
+      {rows}
+    ],
+    "sharded_results_identical": true,
+    "sharded_pkt_hops": {phops},
+    "adaptive_choice": "{choice_label}",
+    "adaptive_choice_wall_s": {choice_wall:.3},
+    "adaptive_choice_not_slower": true,
+    "speedup_sharded4_vs_best_serial": {speedup_4:.3},
+    "host_threads": {threads},
+    "note": "sharded wall-clock speedup requires hardware parallelism; on a single-thread host the selector falls back to serial and the shard curve measures window-protocol overhead only"
+  }}"#,
+        racks = topo.num_racks(),
+        servers = topo.num_servers(),
+        serial_events = heap_r.events,
+        sharded_events = pr.events,
+        heap_eps = heap_r.events as f64 / heap_s,
+        cal_eps = cal_r.events as f64 / cal_s,
+    )
+}
+
 fn main() {
-    let (_scale, seed) = parse_args();
+    let args = parse_args_quick();
+    let (scale_req, seed, quick) = (args.scale, args.seed, args.quick);
     let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    eprintln!("bench_snapshot: seed {seed}, {threads} threads, small scale");
+    let scale_label = match scale_req {
+        Scale::Small => "small",
+        Scale::Paper => "paper",
+        Scale::Production => "production",
+    };
+    eprintln!("bench_snapshot: seed {seed}, {threads} threads, scale {scale_label}, quick {quick}");
 
     // --- Scheduler microbenchmark: one dense cell, both event queues. ---
     let topos = EvalTopos::build(Scale::Small, seed);
@@ -152,6 +340,25 @@ fn main() {
         events as f64 / cal_s,
         events as f64 / heap_s
     );
+    // `Scheduler::Auto` (the default) must resolve this workload to the
+    // queue that measures faster here — the fix for the 0.84× line.
+    let est_small =
+        estimate_events(flows.flows.iter().map(|f| f.bytes), SimConfig::default().mss_bytes);
+    // Threshold is currently `u64::MAX` (no measured calendar win); the
+    // comparison mirrors the engine's live tunable seam.
+    #[allow(clippy::absurd_extreme_comparisons)]
+    let auto_calendar = est_small >= AUTO_CALENDAR_EVENT_THRESHOLD;
+    let (auto_label, auto_s, auto_other_s) = if auto_calendar {
+        ("calendar", cal_s, heap_s)
+    } else {
+        ("reference_heap", heap_s, cal_s)
+    };
+    assert!(
+        auto_s <= auto_other_s * 1.25,
+        "adaptive scheduler resolved the small tier to the measured-slower queue: \
+         {auto_label} {auto_s:.4}s vs alternative {auto_other_s:.4}s"
+    );
+    eprintln!("scheduler: auto resolves to {auto_label} at this tier ({est_small} est events)");
 
     // --- Per-packet datapath: fast (FIB hot-cache, RTO timer wheel,
     // terminal-TxDone elision, zero-alloc TCP turnaround) vs the retained
@@ -261,7 +468,10 @@ fn main() {
     let before = run_fig4_grid(&cfg, Scheduler::ReferenceHeap, false);
     let fig4_before_s = t0.elapsed().as_secs_f64();
     let t0 = Instant::now();
-    let after = run_fig4_grid(&cfg, Scheduler::Calendar, true);
+    // `Auto` is the shipped default: each cell resolves to the queue its
+    // own event estimate favours (heap at quick scale), so this measures
+    // what users actually get.
+    let after = run_fig4_grid(&cfg, Scheduler::Auto, true);
     let fig4_after_s = t0.elapsed().as_secs_f64();
     assert_grids_identical(&before, &after, "fig4");
     let fig4_cells = after.len();
@@ -411,13 +621,27 @@ fn main() {
         "csr walk: {walks} routes — nested {walk_nested_s:.3}s vs CSR {walk_csr_s:.3}s ({walk_speedup:.2}x)"
     );
 
+    // --- At-scale tiers: paper (and, above it, production) measure the
+    // regime the sharded engine targets. The small sections above always
+    // run, so every snapshot stays comparable across scales. ---
+    let tier_sections = match scale_req {
+        Scale::Small => String::new(),
+        Scale::Paper => run_scale_tier(Scale::Paper, quick, seed, threads),
+        Scale::Production => {
+            let mut s = run_scale_tier(Scale::Paper, quick, seed, threads);
+            s.push_str(&run_scale_tier(Scale::Production, quick, seed, threads));
+            s
+        }
+    };
+
     // Hand-rolled JSON: the workspace deliberately carries no serde_json
     // dependency, and the document is flat enough that format! suffices.
     let json = format!(
         r#"{{
-  "schema": "bench_snapshot/v4",
+  "schema": "bench_snapshot/v5",
   "seed": {seed},
-  "scale": "small",
+  "scale": "{scale_label}",
+  "quick": {quick},
   "host_threads": {threads},
   "scheduler_microbench": {{
     "workload": "fig4-style A2A on DRing su2, 8 MB offered",
@@ -425,6 +649,8 @@ fn main() {
     "calendar": {{ "wall_s": {cal_s:.4}, "events_per_sec": {cal_eps:.0} }},
     "reference_heap": {{ "wall_s": {heap_s:.4}, "events_per_sec": {heap_eps:.0} }},
     "speedup": {sched_speedup:.3},
+    "adaptive_resolution": "{auto_label}",
+    "adaptive_choice_not_slower": true,
     "results_identical": true
   }},
   "sim_datapath": {{
@@ -451,7 +677,7 @@ fn main() {
   "fig4_small_grid": {{
     "cells": {fig4_cells},
     "before": {{ "scheduler": "reference_heap", "routing_state": "per-cell rebuild", "wall_s": {fig4_before_s:.3}, "cells_per_sec": {fig4_before_cps:.3} }},
-    "after": {{ "scheduler": "calendar", "routing_state": "shared cache", "wall_s": {fig4_after_s:.3}, "cells_per_sec": {fig4_after_cps:.3} }},
+    "after": {{ "scheduler": "adaptive (auto)", "routing_state": "shared cache", "wall_s": {fig4_after_s:.3}, "cells_per_sec": {fig4_after_cps:.3} }},
     "speedup": {fig4_speedup:.3},
     "results_identical": true
   }},
@@ -493,7 +719,7 @@ fn main() {
     "csr_wall_s": {walk_csr_s:.4},
     "speedup": {walk_speedup:.3},
     "results_identical": true
-  }}
+  }}{tier_sections}
 }}
 "#,
         cal_eps = events as f64 / cal_s,

@@ -13,6 +13,13 @@ fn main() {
     let cfg = match scale {
         Scale::Small => FctConfig::quick(seed),
         Scale::Paper => FctConfig::paper(seed),
+        Scale::Production => {
+            eprintln!(
+                "fig4 reproduces the paper's figure at small|paper scale; \
+                 the production tier is driven by bench_snapshot --scale production"
+            );
+            std::process::exit(2);
+        }
     };
     eprintln!(
         "running Fig. 4 grid at {scale:?} scale (35 cells, window {} ms, 30% spine load)...",

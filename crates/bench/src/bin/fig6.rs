@@ -13,6 +13,13 @@ fn main() {
     let cfg = match scale {
         Scale::Small => ScaleStudyConfig::quick(seed),
         Scale::Paper => ScaleStudyConfig::paper(seed),
+        Scale::Production => {
+            eprintln!(
+                "fig6 reproduces the paper's figure at small|paper scale; \
+                 the production tier is driven by bench_snapshot --scale production"
+            );
+            std::process::exit(2);
+        }
     };
     eprintln!(
         "running Fig. 6 sweep at {scale:?} scale (supernodes {}..={}, host load {})...",

@@ -19,6 +19,13 @@ fn main() {
     let cfg = match scale {
         Scale::Small => FctConfig::quick(base_seed),
         Scale::Paper => FctConfig::paper(base_seed),
+        Scale::Production => {
+            eprintln!(
+                "seed_variance reproduces the paper's figure at small|paper scale; \
+                 the production tier is driven by bench_snapshot --scale production"
+            );
+            std::process::exit(2);
+        }
     };
     let topos = EvalTopos::build(cfg.scale, cfg.seed);
     let offered = cfg.offered_bytes(&topos);

@@ -76,37 +76,87 @@ pub fn warn_if_slow_path(
     degraded
 }
 
+/// Warns on stderr when a production-tier run ended up on a serial
+/// engine: the adaptive selector ([`spineless_sim::choose_engine`]) falls
+/// back to serial whenever the host exposes a single hardware thread or
+/// the workload is too small to amortize windows — correct, but a
+/// production-tier measurement taken that way does not reflect the
+/// sharded engine the tier exists to measure. Returns whether it warned.
+pub fn warn_if_serial_fallback(
+    scale: spineless_core::Scale,
+    choice: spineless_sim::EngineChoice,
+    context: &str,
+) -> bool {
+    let fallback = scale == spineless_core::Scale::Production
+        && !matches!(choice, spineless_sim::EngineChoice::Sharded { .. });
+    if fallback {
+        eprintln!(
+            "warning[{context}]: adaptive selector fell back to {choice:?} on a \
+             production-tier run (single hardware thread or sub-threshold \
+             workload); timings reflect serial execution, not the sharded engine"
+        );
+    }
+    fallback
+}
+
+/// Parsed harness arguments; see [`parse_args`] / [`parse_args_quick`].
+#[derive(Debug, Clone, Copy)]
+pub struct BenchArgs {
+    /// Experiment scale (`--scale`, default small).
+    pub scale: spineless_core::Scale,
+    /// Master seed (`--seed`, default 42).
+    pub seed: u64,
+    /// Reduced-workload mode (`--quick`, default off) — same code paths,
+    /// smaller offered load, for CI.
+    pub quick: bool,
+}
+
 /// Minimal CLI parsing shared by the harness binaries: reads
-/// `--scale small|paper` (default small) and `--seed N` (default 42);
-/// unknown arguments abort with a usage hint.
+/// `--scale small|paper|production` (default small) and `--seed N`
+/// (default 42); unknown arguments abort with a usage hint.
 pub fn parse_args() -> (spineless_core::Scale, u64) {
+    let a = parse(false);
+    (a.scale, a.seed)
+}
+
+/// [`parse_args`] plus the `--quick` flag (used by `bench_snapshot`, whose
+/// CI invocation shrinks the at-scale workloads without changing paths).
+pub fn parse_args_quick() -> BenchArgs {
+    parse(true)
+}
+
+fn parse(allow_quick: bool) -> BenchArgs {
     let args: Vec<String> = std::env::args().collect();
-    let mut scale = spineless_core::Scale::Small;
-    let mut seed = 42u64;
+    let mut out = BenchArgs { scale: spineless_core::Scale::Small, seed: 42, quick: false };
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
                 i += 1;
-                scale = spineless_core::Scale::parse(args.get(i).map(|s| s.as_str()).unwrap_or(""))
-                    .unwrap_or_else(|| {
-                        eprintln!("unknown scale {:?}; use small|paper", args.get(i));
-                        std::process::exit(2);
-                    });
+                out.scale =
+                    spineless_core::Scale::parse(args.get(i).map(|s| s.as_str()).unwrap_or(""))
+                        .unwrap_or_else(|| {
+                            eprintln!("unknown scale {:?}; use small|paper|production", args.get(i));
+                            std::process::exit(2);
+                        });
             }
             "--seed" => {
                 i += 1;
-                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                out.seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
                     eprintln!("bad seed");
                     std::process::exit(2);
                 });
             }
+            "--quick" if allow_quick => out.quick = true,
             other => {
-                eprintln!("unknown argument {other}; usage: [--scale small|paper] [--seed N]");
+                let quick = if allow_quick { " [--quick]" } else { "" };
+                eprintln!(
+                    "unknown argument {other}; usage: [--scale small|paper|production] [--seed N]{quick}"
+                );
                 std::process::exit(2);
             }
         }
         i += 1;
     }
-    (scale, seed)
+    out
 }

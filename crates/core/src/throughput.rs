@@ -38,8 +38,10 @@ pub struct HeatmapCell {
 /// scale shrinks the sweep to fit 192 hosts.
 pub fn cs_axis_values(scale: Scale, large: bool) -> Vec<u32> {
     match (scale, large) {
-        (Scale::Paper, false) => (0..7).map(|i| 20 + 40 * i).collect(), // 20..260
-        (Scale::Paper, true) => (0..7).map(|i| 200 + 200 * i).collect(), // 200..1400
+        // Production shares the paper sweep: Fig. 5 is a structural
+        // experiment, and the production tier only grows the fabric.
+        (Scale::Paper | Scale::Production, false) => (0..7).map(|i| 20 + 40 * i).collect(), // 20..260
+        (Scale::Paper | Scale::Production, true) => (0..7).map(|i| 200 + 200 * i).collect(), // 200..1400
         (Scale::Small, false) => (0..7).map(|i| 4 + 6 * i).collect(),  // 4..40
         (Scale::Small, true) => (0..7).map(|i| 24 + 16 * i).collect(), // 24..120
     }
@@ -130,6 +132,18 @@ pub fn run_fig5_panel_with(
         .map(|n| n.get())
         .unwrap_or(1)
         .min(jobs.len().max(1));
+    if workers == 1 {
+        // Single hardware thread: the scope/mutex fan-out is pure
+        // overhead (BENCH's 0.91× fig5 line) — run the cells inline.
+        // Job order equals sorted order, so results are identical.
+        return jobs
+            .iter()
+            .filter_map(|&(ci, si)| {
+                let cell_seed = fig5_cell_seed(seed, ci, si, values.len());
+                fig5_cell(topos, fs_dring, fs_ls, values[ci], values[si], max_pairs, cell_seed)
+            })
+            .collect();
+    }
     let next = std::sync::atomic::AtomicUsize::new(0);
     let results_mx = parking_lot::Mutex::new(Vec::<(usize, Option<HeatmapCell>)>::new());
     crossbeam::thread::scope(|scope| {

@@ -26,14 +26,20 @@ pub enum Scale {
     Small,
     /// The paper's configuration (≈3000 servers): minutes per cell.
     Paper,
+    /// Beyond the paper: ≥100 racks per topology (DRing at 102 racks via
+    /// the §6.3 scale-study hardware), the regime the ROADMAP's
+    /// north-star and the sharded engine target. Workloads at this tier
+    /// run ≥10⁵ concurrent flows.
+    Production,
 }
 
 impl Scale {
-    /// Parses `"small"` / `"paper"` (CLI helper).
+    /// Parses `"small"` / `"paper"` / `"production"` (CLI helper).
     pub fn parse(s: &str) -> Option<Scale> {
         match s {
             "small" => Some(Scale::Small),
             "paper" => Some(Scale::Paper),
+            "production" => Some(Scale::Production),
             _ => None,
         }
     }
@@ -58,6 +64,9 @@ impl EvalTopos {
         match scale {
             Scale::Small => (15, 5), // 20 leaves, 5 spines, 300 servers, 3:1
             Scale::Paper => (48, 16),
+            // 100 leaves, 25 spines, 7500 servers — 3:1 preserved, rack
+            // count matched to the production DRing's 102.
+            Scale::Production => (75, 25),
         }
     }
 
@@ -70,6 +79,9 @@ impl EvalTopos {
             // paper-scale proportions (DRing NSR ≈ 26/38).
             Scale::Small => DRing::uniform(12, 2, 20),
             Scale::Paper => DRing::paper_config(),
+            // The §6.3 scale-study hardware (6-ToR supernodes, 60-port
+            // switches) at 17 supernodes: 102 racks, 3672 servers.
+            Scale::Production => DRing::scale_config(17),
         }
     }
 
@@ -140,6 +152,18 @@ mod tests {
     fn scale_parsing() {
         assert_eq!(Scale::parse("small"), Some(Scale::Small));
         assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("production"), Some(Scale::Production));
         assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn production_scale_reaches_one_hundred_racks() {
+        // Topology construction only — no RRG rewiring — so the check
+        // stays fast enough for every push.
+        let dring = EvalTopos::dring_config(Scale::Production).build();
+        assert!(dring.num_racks() >= 100, "{} racks", dring.num_racks());
+        let (x, y) = EvalTopos::leafspine_params(Scale::Production);
+        assert_eq!(x / y, 3);
+        assert!(x + y >= 100);
     }
 }

@@ -464,12 +464,33 @@ pub enum EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Creates the scheduler selected by `kind`.
+    /// Creates the scheduler selected by `kind`. `Auto` starts on the
+    /// heap — the engine resolves it against the workload's estimated
+    /// event count when `run` begins, migrating with
+    /// [`migrate_to_calendar`](Self::migrate_to_calendar) if warranted.
     pub fn new(kind: crate::types::Scheduler) -> EventQueue<E> {
         match kind {
             crate::types::Scheduler::Calendar => EventQueue::Calendar(CalendarQueue::new()),
-            crate::types::Scheduler::ReferenceHeap => EventQueue::Heap(HeapQueue::new()),
+            crate::types::Scheduler::Auto | crate::types::Scheduler::ReferenceHeap => {
+                EventQueue::Heap(HeapQueue::new())
+            }
         }
+    }
+
+    /// Re-homes every pending event into a fresh calendar queue. Order
+    /// is preserved exactly — both schedulers dequeue the identical
+    /// `(t, seq)` total order — so this is safe at any point; the engine
+    /// calls it once, before the first pop, when `Scheduler::Auto`
+    /// resolves to the calendar.
+    pub fn migrate_to_calendar(&mut self) {
+        if matches!(self, EventQueue::Calendar(_)) {
+            return;
+        }
+        let mut cal = CalendarQueue::new();
+        while let Some((t, seq, ev)) = self.pop() {
+            cal.push(t, seq, ev);
+        }
+        *self = EventQueue::Calendar(cal);
     }
 
     /// Inserts an event. `seq` must be unique and increasing.

@@ -33,10 +33,14 @@ pub mod equeue;
 pub mod failure;
 pub mod link;
 pub mod packet;
+pub mod shard;
 pub mod tcp;
 pub mod types;
 
 pub use engine::Simulation;
 pub use equeue::{CalendarQueue, EventQueue, HeapQueue, TimerWheel};
 pub use failure::{FailureEvent, FailureSchedule};
+pub use shard::{
+    choose_engine, estimate_events, EngineChoice, ExecMode, ShardedSimulation,
+};
 pub use types::{Datapath, FlowId, FlowRecord, Scheduler, SimConfig, SimReport};

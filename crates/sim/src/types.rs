@@ -71,8 +71,14 @@ pub struct SimConfig {
 /// Which event-scheduler implementation the engine uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum Scheduler {
-    /// Bucketed calendar queue (amortized O(1) per event) — the default.
+    /// Pick at [`run`](crate::engine::Simulation::run) time from the
+    /// workload's estimated event count: the reference heap below
+    /// [`crate::shard::AUTO_CALENDAR_EVENT_THRESHOLD`] (where the
+    /// calendar's bucket maintenance measurably loses — BENCH's 0.84×
+    /// small-tier line), the calendar queue above it. The default.
     #[default]
+    Auto,
+    /// Bucketed calendar queue (amortized O(1) per event).
     Calendar,
     /// Binary min-heap — the reference implementation, kept for
     /// determinism cross-checks against the calendar queue.
@@ -118,7 +124,7 @@ impl Default for SimConfig {
             flowlet_gap_ns: None,
             transport: Transport::NewReno,
             ecn_threshold_bytes: 30_000, // 20 packets
-            scheduler: Scheduler::Calendar,
+            scheduler: Scheduler::Auto,
             datapath: Datapath::Fast,
         }
     }
@@ -159,7 +165,7 @@ pub struct FlowRecord {
 }
 
 /// Whole-simulation outcome.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SimReport {
     /// Per-flow records, indexed by [`FlowId`].
     pub flows: Vec<FlowRecord>,

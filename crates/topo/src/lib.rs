@@ -51,9 +51,11 @@ pub mod dring;
 pub mod flat;
 pub mod leafspine;
 pub mod metrics;
+pub mod partition;
 pub mod rrg;
 pub mod slimfly;
 pub mod topology;
 pub mod xpander;
 
+pub use partition::{partition_domains, single_domain, DomainPartition};
 pub use topology::{Equipment, ServerId, TopoError, Topology};
