@@ -36,11 +36,12 @@ use spineless_routing::failures::{incremental_rebuild, FailurePlan};
 use spineless_routing::{Forwarding, ForwardingState, RoutingScheme};
 use spineless_sim::shard::AUTO_CALENDAR_EVENT_THRESHOLD;
 use spineless_sim::{
-    choose_engine, estimate_events, Datapath, EngineChoice, ExecMode, FailureSchedule, Scheduler,
-    ShardedSimulation, SimConfig, Simulation,
+    choose_engine, estimate_events, Datapath, EngineChoice, ExecMode, FailureSchedule,
+    HybridConfig, HybridSimulation, Scheduler, ShardedSimulation, SimConfig, Simulation,
 };
 use spineless_topo::dring::DRing;
 use spineless_workload::pareto::ParetoFlowSizes;
+use spineless_workload::{poisson_from_tm, TrafficMatrix};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -304,6 +305,187 @@ fn run_scale_tier(scale: Scale, quick: bool, seed: u64, threads: usize) -> Strin
     )
 }
 
+/// Sorted-slice percentile (nearest-rank).
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+/// The hybrid fluid+packet tier: an open-loop Poisson workload (uniform
+/// rack TM, paper Pareto sizes) on the paper-scale DRing, pure-packet vs
+/// hybrid on the identical flow list. The headline regime: elephants
+/// (>= 15 KB, ~85% of bytes) ride the fluid plane, so the packet engine
+/// only pays for mice. Records wall-clock speedup and the agreement
+/// deltas (mice FCT mean/p50/p99 ratio, switch-link byte ratio) that
+/// DESIGN.md §13 documents tolerances for; the full tier asserts the >=5x
+/// speedup and the agreement bands, quick mode just records. Full mode
+/// adds a million-flow hybrid-only point — the workload size the
+/// pure-packet engine cannot touch interactively.
+fn run_hybrid_tier(quick: bool, seed: u64) -> String {
+    let topo = EvalTopos::dring_config(Scale::Paper).build();
+    let scheme = RoutingScheme::ShortestUnion(2);
+    let fs = Arc::new(ForwardingState::build(&topo.graph, scheme));
+    let sizes = ParetoFlowSizes::paper();
+    let tm = TrafficMatrix::uniform(&topo);
+    let threshold = 10_000u64;
+    // Rate chosen so the expected flow count hits the tier target:
+    // lambda = rate / truncated_mean, E[flows] = lambda * window. Both
+    // tiers run the same ~385 B/ns offered rate (moderate fabric load —
+    // open-loop at saturation diverges and measures backlog, not
+    // engines); the full tier just runs 10x longer.
+    let target_flows: f64 = if quick { 10_000.0 } else { 100_000.0 };
+    let window_ns: u64 = if quick { 1_000_000 } else { 10_000_000 };
+    let rate = target_flows * sizes.truncated_mean() / window_ns as f64;
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x09E41007);
+    let flows = poisson_from_tm(&tm, &topo, rate, &sizes, window_ns, &mut rng);
+    let nflows = flows.flows.len();
+    let cfg = SimConfig {
+        max_time_ns: if quick { 30_000_000 } else { 60_000_000 },
+        ..Default::default()
+    };
+    eprintln!(
+        "hybrid_openloop: {nflows} Poisson flows over {window_ns} ns at {rate:.0} B/ns offered"
+    );
+
+    let mut pure = Simulation::new(&topo, fs.clone(), cfg, seed);
+    for f in &flows.flows {
+        pure.add_flow(f.src, f.dst, f.bytes, f.start_ns).expect("valid flow");
+    }
+    let t0 = Instant::now();
+    let rp = pure.run();
+    let pure_s = t0.elapsed().as_secs_f64();
+    let pure_bytes: u64 = pure.switch_link_tx_bytes().iter().sum();
+
+    let hcfg = HybridConfig {
+        elephant_threshold_bytes: threshold,
+        resolve_coalesce_ns: 10_000,
+        ..Default::default()
+    };
+    let mut hyb = HybridSimulation::new(&topo, fs.clone(), cfg, hcfg, seed);
+    for f in &flows.flows {
+        hyb.add_flow(f.src, f.dst, f.bytes, f.start_ns).expect("valid flow");
+    }
+    let t0 = Instant::now();
+    let rh = hyb.run();
+    let hybrid_s = t0.elapsed().as_secs_f64();
+    let hybrid_bytes: f64 = hyb.switch_link_total_bytes().iter().sum();
+
+    let speedup = pure_s / hybrid_s;
+    // Mice FCT agreement over flows finished in both runs (global flow
+    // ids coincide: both engines admit the identical list in order).
+    let mut pure_mice: Vec<u64> = Vec::new();
+    let mut hyb_mice: Vec<u64> = Vec::new();
+    for (fp, fh) in rp.flows.iter().zip(&rh.flows) {
+        if fp.bytes < threshold {
+            if let (Some(a), Some(b)) = (fp.fct_ns, fh.fct_ns) {
+                pure_mice.push(a);
+                hyb_mice.push(b);
+            }
+        }
+    }
+    let mean = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len().max(1) as f64;
+    let (mp, mh) = (mean(&pure_mice), mean(&hyb_mice));
+    let mice_mean_ratio = mh / mp;
+    pure_mice.sort_unstable();
+    hyb_mice.sort_unstable();
+    let p50_ratio = percentile(&hyb_mice, 0.50) as f64 / percentile(&pure_mice, 0.50) as f64;
+    let p99_ratio = percentile(&hyb_mice, 0.99) as f64 / percentile(&pure_mice, 0.99) as f64;
+    let bytes_ratio = hybrid_bytes / pure_bytes as f64;
+    eprintln!(
+        "hybrid_openloop: pure {pure_s:.2}s vs hybrid {hybrid_s:.2}s ({speedup:.2}x), \
+         {} resolves; mice mean-FCT ratio {mice_mean_ratio:.3} (p50 {p50_ratio:.3}, p99 {p99_ratio:.3}), \
+         switch-link byte ratio {bytes_ratio:.3}",
+        rh.resolves
+    );
+    if !quick {
+        // The acceptance bar, plus the documented agreement bands
+        // (DESIGN.md §13): the speedup is only meaningful if the hybrid
+        // still tells the same statistical story.
+        assert!(
+            speedup >= 5.0,
+            "hybrid_openloop: hybrid must be >=5x faster at the full tier, got {speedup:.2}x"
+        );
+        // Hybrid mice run *fast*: elephants become smooth rate processes,
+        // so the burst congestion (queueing, drops, RTOs) pure-packet
+        // mice suffer behind TCP elephants disappears — mostly a tail
+        // effect (p99 collapses), pulling the mean below 1. The band is
+        // asymmetric-wide by design; DESIGN.md section 13 documents why.
+        assert!(
+            mice_mean_ratio > 0.5 && mice_mean_ratio < 1.5,
+            "hybrid_openloop: mice mean-FCT ratio {mice_mean_ratio:.3} outside [0.5, 1.5]"
+        );
+        assert!(
+            (bytes_ratio - 1.0).abs() < 0.15,
+            "hybrid_openloop: switch-link byte ratio {bytes_ratio:.3} outside +/-15%"
+        );
+    }
+
+    // Million-flow hybrid-only point (full mode): same offered rate, 10x
+    // the window. Pure-packet at this size is tens of minutes — the
+    // regime the hybrid split exists for — so only the hybrid runs.
+    let million = if quick {
+        String::new()
+    } else {
+        let mwindow = window_ns * 10;
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x09E41007);
+        let mflows = poisson_from_tm(&tm, &topo, rate, &sizes, mwindow, &mut rng);
+        let n = mflows.flows.len();
+        let mcfg = SimConfig { max_time_ns: mwindow + 60_000_000, ..cfg };
+        let mut hyb = HybridSimulation::new(&topo, fs.clone(), mcfg, hcfg, seed);
+        for f in &mflows.flows {
+            hyb.add_flow(f.src, f.dst, f.bytes, f.start_ns).expect("valid flow");
+        }
+        let t0 = Instant::now();
+        let r = hyb.run();
+        let wall = t0.elapsed().as_secs_f64();
+        eprintln!(
+            "hybrid_openloop: million-flow point — {n} flows in {wall:.2}s ({:.0} flows/s, {} resolves)",
+            n as f64 / wall,
+            r.resolves
+        );
+        format!(
+            r#",
+    "million_flow_hybrid_only": {{ "flows": {n}, "wall_s": {wall:.3}, "flows_per_sec": {:.0}, "resolves": {}, "unfinished": {} }}"#,
+            n as f64 / wall,
+            r.resolves,
+            r.unfinished()
+        )
+    };
+
+    format!(
+        r#",
+  "hybrid_openloop": {{
+    "topology": "dring paper config, shortest-union(2)",
+    "workload": "open-loop Poisson, uniform TM, pareto sizes, {nflows} flows over {window_ns} ns at {rate:.0} B/ns",
+    "elephant_threshold_bytes": {threshold},
+    "resolve_coalesce_ns": 10000,
+    "elephant_count": {ele},
+    "fluid_resolves": {resolves},
+    "pure_packet": {{ "wall_s": {pure_s:.3}, "pkt_hops": {phops}, "unfinished": {pu} }},
+    "hybrid": {{ "wall_s": {hybrid_s:.3}, "pkt_hops": {hhops}, "unfinished": {hu} }},
+    "speedup": {speedup:.3},
+    "agreement": {{
+      "mice_compared": {nmice},
+      "mice_mean_fct_ratio": {mice_mean_ratio:.4},
+      "mice_p50_fct_ratio": {p50_ratio:.4},
+      "mice_p99_fct_ratio": {p99_ratio:.4},
+      "switch_link_byte_ratio": {bytes_ratio:.4},
+      "tolerances": "full tier asserts mice mean-FCT ratio in [0.5, 1.5] and switch-link bytes within 15%; see DESIGN.md section 13"
+    }}{million}
+  }}"#,
+        ele = rh.elephant_count,
+        resolves = rh.resolves,
+        phops = pure.pkt_hops(),
+        pu = rp.unfinished(),
+        hhops = hyb.pkt_hops(),
+        hu = rh.unfinished(),
+        nmice = pure_mice.len(),
+    )
+}
+
 fn main() {
     let args = parse_args_quick();
     let (scale_req, seed, quick) = (args.scale, args.seed, args.quick);
@@ -401,15 +583,24 @@ fn main() {
     assert_eq!(dp_hops, dp_ref_hops, "datapaths diverged: packet-hops");
     assert_eq!(dp_fast_tx, dp_ref_tx, "datapaths diverged: per-link tx bytes");
     let dp_speedup = dp_ref_s / dp_fast_s;
+    // Measured allocations per packet-hop, or the whole field omitted
+    // when built without `count-allocs` — never a JSON null, so numeric
+    // consumers can treat presence as "measured".
     let fmt_allocs = |allocs: Option<u64>| match allocs {
-        Some(a) => format!("{:.4}", a as f64 / dp_hops as f64),
-        None => "null".to_owned(),
+        Some(a) => format!(r#", "allocs_per_pkt_hop": {:.4}"#, a as f64 / dp_hops as f64),
+        None => String::new(),
     };
     let (dp_fast_aph, dp_ref_aph) = (fmt_allocs(dp_fast_allocs), fmt_allocs(dp_ref_allocs));
+    let show_allocs = |allocs: Option<u64>| match allocs {
+        Some(a) => format!("{:.4}", a as f64 / dp_hops as f64),
+        None => "off".to_owned(),
+    };
     eprintln!(
-        "datapath: {dp_hops} pkt-hops — fast {:.0} hops/s vs reference {:.0} hops/s ({dp_speedup:.2}x), allocs/hop fast {dp_fast_aph} ref {dp_ref_aph}",
+        "datapath: {dp_hops} pkt-hops — fast {:.0} hops/s vs reference {:.0} hops/s ({dp_speedup:.2}x), allocs/hop fast {} ref {}",
         dp_hops as f64 / dp_fast_s,
-        dp_hops as f64 / dp_ref_s
+        dp_hops as f64 / dp_ref_s,
+        show_allocs(dp_fast_allocs),
+        show_allocs(dp_ref_allocs)
     );
 
     // --- Failure recovery: cut the busiest cable mid-run, reconverge
@@ -624,7 +815,7 @@ fn main() {
     // --- At-scale tiers: paper (and, above it, production) measure the
     // regime the sharded engine targets. The small sections above always
     // run, so every snapshot stays comparable across scales. ---
-    let tier_sections = match scale_req {
+    let mut tier_sections = match scale_req {
         Scale::Small => String::new(),
         Scale::Paper => run_scale_tier(Scale::Paper, quick, seed, threads),
         Scale::Production => {
@@ -634,11 +825,16 @@ fn main() {
         }
     };
 
+    // --- Hybrid fluid+packet tier: always runs (quick shrinks the
+    // workload and skips the asserts), since it is the headline
+    // open-loop regime. ---
+    tier_sections.push_str(&run_hybrid_tier(quick, seed));
+
     // Hand-rolled JSON: the workspace deliberately carries no serde_json
     // dependency, and the document is flat enough that format! suffices.
     let json = format!(
         r#"{{
-  "schema": "bench_snapshot/v5",
+  "schema": "bench_snapshot/v6",
   "seed": {seed},
   "scale": "{scale_label}",
   "quick": {quick},
@@ -657,8 +853,8 @@ fn main() {
     "workload": "fig4-style A2A on DRing su2, 8 MB offered",
     "pkt_hops": {dp_hops},
     "fib_cache_prewarmed": true,
-    "fast": {{ "wall_s": {dp_fast_s:.4}, "pkt_hops_per_sec": {dp_fast_hps:.0}, "events": {dp_fast_events}, "events_per_sec": {dp_fast_eps:.0}, "allocs_per_pkt_hop": {dp_fast_aph} }},
-    "reference": {{ "wall_s": {dp_ref_s:.4}, "pkt_hops_per_sec": {dp_ref_hps:.0}, "events": {dp_ref_events}, "events_per_sec": {dp_ref_eps:.0}, "allocs_per_pkt_hop": {dp_ref_aph} }},
+    "fast": {{ "wall_s": {dp_fast_s:.4}, "pkt_hops_per_sec": {dp_fast_hps:.0}, "events": {dp_fast_events}, "events_per_sec": {dp_fast_eps:.0}{dp_fast_aph} }},
+    "reference": {{ "wall_s": {dp_ref_s:.4}, "pkt_hops_per_sec": {dp_ref_hps:.0}, "events": {dp_ref_events}, "events_per_sec": {dp_ref_eps:.0}{dp_ref_aph} }},
     "speedup": {dp_speedup:.3},
     "results_identical": true
   }},

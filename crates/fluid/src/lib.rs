@@ -20,4 +20,6 @@ pub mod links;
 pub mod solver;
 
 pub use links::LinkSpace;
-pub use solver::{max_min_rates, max_min_rates_reference, solve, FluidSolution};
+pub use solver::{
+    max_min_rates, max_min_rates_reference, max_min_rates_with, solve, FluidScratch, FluidSolution,
+};

@@ -22,17 +22,87 @@ use spineless_topo::Topology;
 /// Panics if a flow references a link `>= num_links` or a capacity is
 /// non-positive while used.
 pub fn max_min_rates(num_links: usize, cap: &[f64], flows: &[Vec<u32>]) -> Vec<f64> {
+    let mut scratch = FluidScratch::new();
+    let mut rate = Vec::new();
+    max_min_rates_with(num_links, cap, flows, &mut scratch, &mut rate);
+    rate
+}
+
+/// Reusable working state for [`max_min_rates_with`].
+///
+/// Event-driven re-solves (hybrid co-simulation: elephant arrival /
+/// departure / failure reconvergence) call the solver thousands of times
+/// per run on near-identical instances; keeping the active list, per-link
+/// accumulators, and round-local marks in one long-lived struct makes each
+/// re-solve allocation-free after the first (the same discipline as
+/// `sample_route_into`'s shared route buffer).
+///
+/// After a solve, [`FluidScratch::link_used`] exposes the per-link
+/// capacity consumed by the solved flows — the residual-capacity export
+/// the packet engine needs for rate handoff.
+#[derive(Debug, Default)]
+pub struct FluidScratch {
+    /// Active (unfrozen) flow count per link.
+    active: Vec<u32>,
+    /// Capacity consumed per link; valid after a solve.
+    used: Vec<f64>,
+    /// Flow indices not yet frozen at a bottleneck.
+    unfrozen: Vec<u32>,
+    /// Links with at least one active flow.
+    active_links: Vec<u32>,
+    /// Round-local saturation marks (cleared before the round ends).
+    saturated: Vec<bool>,
+    /// Links marked saturated this round.
+    sat_links: Vec<u32>,
+}
+
+impl FluidScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> FluidScratch {
+        FluidScratch::default()
+    }
+
+    /// Per-link capacity consumed by the most recent solve, indexed by
+    /// the same link ids the flows referenced. Empty before any solve.
+    pub fn link_used(&self) -> &[f64] {
+        &self.used
+    }
+}
+
+/// [`max_min_rates`] with caller-owned scratch and output buffers, generic
+/// over the per-flow route container (`Vec<u32>`, `&[u32]`, …).
+///
+/// Identical arithmetic to [`max_min_rates`] — a test pins bit equality —
+/// but allocation-free when `scratch` and `rate` are reused across calls.
+/// On return `rate` holds the max-min allocation and
+/// `scratch.link_used()` the per-link consumed capacity.
+///
+/// # Panics
+///
+/// Same contract as [`max_min_rates`].
+pub fn max_min_rates_with<S: AsRef<[u32]>>(
+    num_links: usize,
+    cap: &[f64],
+    flows: &[S],
+    scratch: &mut FluidScratch,
+    rate: &mut Vec<f64>,
+) {
     assert_eq!(cap.len(), num_links);
-    let mut rate = vec![0.0f64; flows.len()];
+    rate.clear();
+    rate.resize(flows.len(), 0.0);
     // Active flow count per link.
-    let mut active = vec![0u32; num_links];
+    let active = &mut scratch.active;
+    active.clear();
+    active.resize(num_links, 0);
     for fl in flows {
-        for &l in fl {
+        for &l in fl.as_ref() {
             assert!((l as usize) < num_links, "link {l} out of range");
             active[l as usize] += 1;
         }
     }
-    let mut used = vec![0.0f64; num_links];
+    let used = &mut scratch.used;
+    used.clear();
+    used.resize(num_links, 0.0);
     // Work on index lists instead of scanning every link and flow each
     // round: the lists only shrink, so late rounds (few unfrozen flows on
     // a handful of contested links) cost what they touch, not O(L + F).
@@ -42,25 +112,29 @@ pub fn max_min_rates(num_links: usize, cap: &[f64], flows: &[Vec<u32>]) -> Vec<f
     // round every update is `+= inc` on its own accumulator, so iteration
     // *order* over flows cannot change `used`, and the `min` over link
     // headrooms is order-independent. A test cross-checks bit equality.
-    let mut unfrozen: Vec<u32> = Vec::with_capacity(flows.len());
+    let unfrozen = &mut scratch.unfrozen;
+    unfrozen.clear();
     for (i, fl) in flows.iter().enumerate() {
-        if fl.is_empty() {
+        if fl.as_ref().is_empty() {
             rate[i] = f64::INFINITY;
         } else {
             unfrozen.push(i as u32);
         }
     }
-    let mut active_links: Vec<u32> =
-        (0..num_links as u32).filter(|&l| active[l as usize] > 0).collect();
+    let active_links = &mut scratch.active_links;
+    active_links.clear();
+    active_links.extend((0..num_links as u32).filter(|&l| active[l as usize] > 0));
     // Scratch: `saturated` marks are set and cleared per round, so the
     // allocation never recurs.
-    let mut saturated = vec![false; num_links];
-    let mut sat_links: Vec<u32> = Vec::new();
+    let saturated = &mut scratch.saturated;
+    saturated.clear();
+    saturated.resize(num_links, false);
+    let sat_links = &mut scratch.sat_links;
     const EPS: f64 = 1e-12;
     while !unfrozen.is_empty() {
         // Smallest equal-increment any bottleneck link permits.
         let mut inc = f64::INFINITY;
-        for &l in &active_links {
+        for &l in active_links.iter() {
             let l = l as usize;
             assert!(cap[l] > 0.0, "used link {l} has no capacity");
             let headroom = (cap[l] - used[l]).max(0.0);
@@ -68,16 +142,16 @@ pub fn max_min_rates(num_links: usize, cap: &[f64], flows: &[Vec<u32>]) -> Vec<f
         }
         debug_assert!(inc.is_finite(), "active flows but no constraining link");
         // Apply the increment to all unfrozen flows.
-        for &i in &unfrozen {
+        for &i in unfrozen.iter() {
             rate[i as usize] += inc;
-            for &l in &flows[i as usize] {
+            for &l in flows[i as usize].as_ref() {
                 used[l as usize] += inc;
             }
         }
         // Find links saturated this round (only active links can be:
         // every link of an unfrozen flow has active > 0).
         sat_links.clear();
-        for &l in &active_links {
+        for &l in active_links.iter() {
             if used[l as usize] + EPS >= cap[l as usize] {
                 saturated[l as usize] = true;
                 sat_links.push(l);
@@ -85,7 +159,7 @@ pub fn max_min_rates(num_links: usize, cap: &[f64], flows: &[Vec<u32>]) -> Vec<f
         }
         // Freeze flows crossing saturated links.
         unfrozen.retain(|&i| {
-            let fl = &flows[i as usize];
+            let fl = flows[i as usize].as_ref();
             if fl.iter().any(|&l| saturated[l as usize]) {
                 for &l in fl {
                     active[l as usize] -= 1;
@@ -95,12 +169,11 @@ pub fn max_min_rates(num_links: usize, cap: &[f64], flows: &[Vec<u32>]) -> Vec<f
                 true
             }
         });
-        for &l in &sat_links {
+        for &l in sat_links.iter() {
             saturated[l as usize] = false;
         }
         active_links.retain(|&l| active[l as usize] > 0);
     }
-    rate
 }
 
 /// The straightforward full-scan implementation of [`max_min_rates`]:
@@ -439,6 +512,67 @@ mod tests {
         let slow = max_min_rates_reference(space.num_links() as usize, &cap, &flows);
         for (a, b) in fast.iter().zip(&slow) {
             assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_across_resolves() {
+        use rand::Rng;
+        // One long-lived scratch across many random instances (the
+        // hybrid-engine re-solve pattern) must produce bit-identical
+        // rates to a fresh allocation each time, regardless of what the
+        // previous instance left in the buffers.
+        let mut rng = SmallRng::seed_from_u64(0x5C4A);
+        let mut scratch = FluidScratch::new();
+        let mut rate = Vec::new();
+        for case in 0..60 {
+            let num_links = rng.gen_range(1..30usize);
+            let cap: Vec<f64> = (0..num_links).map(|_| rng.gen_range(0.1..2.0)).collect();
+            let flows: Vec<Vec<u32>> = (0..rng.gen_range(0..50usize))
+                .map(|_| {
+                    let hops = rng.gen_range(0..5usize);
+                    (0..hops).map(|_| rng.gen_range(0..num_links as u32)).collect()
+                })
+                .collect();
+            let fresh = max_min_rates(num_links, &cap, &flows);
+            max_min_rates_with(num_links, &cap, &flows, &mut scratch, &mut rate);
+            assert_eq!(fresh.len(), rate.len());
+            for (i, (a, b)) in fresh.iter().zip(&rate).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "case {case}, flow {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn link_used_reports_consumed_capacity() {
+        // Two flows share link 0 (0.5 each); flow B also crosses link 1.
+        // used = [1.0, 0.5]; link 2 untouched.
+        let mut scratch = FluidScratch::new();
+        let mut rate = Vec::new();
+        let flows: Vec<Vec<u32>> = vec![vec![0], vec![0, 1]];
+        max_min_rates_with(3, &[1.0, 1.0, 1.0], &flows, &mut scratch, &mut rate);
+        let used = scratch.link_used();
+        assert!(close(used[0], 1.0), "{used:?}");
+        assert!(close(used[1], 0.5), "{used:?}");
+        assert!(close(used[2], 0.0), "{used:?}");
+        // used never exceeds capacity (beyond fp eps).
+        for (l, &u) in used.iter().enumerate() {
+            assert!(u <= 1.0 + 1e-9, "link {l} overfilled: {u}");
+        }
+    }
+
+    #[test]
+    fn slice_routes_match_vec_routes() {
+        // The generic container parameter: &[u32] routes must solve
+        // identically to Vec<u32> routes.
+        let vec_flows: Vec<Vec<u32>> = vec![vec![0, 1], vec![0], vec![1]];
+        let slice_flows: Vec<&[u32]> = vec_flows.iter().map(|v| v.as_slice()).collect();
+        let a = max_min_rates(2, &[1.0, 1.0], &vec_flows);
+        let mut scratch = FluidScratch::new();
+        let mut b = Vec::new();
+        max_min_rates_with(2, &[1.0, 1.0], &slice_flows, &mut scratch, &mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
         }
     }
 

@@ -234,6 +234,14 @@ pub struct Simulation<F: Forwarding = ForwardingState> {
     /// abandons a severed flow once this reaches zero — until then a
     /// pending repair or reconvergence could still revive it.
     ctrl_pending: u32,
+
+    // ---- hybrid co-simulation (set_link_residuals) ----
+    /// Per directed link: fraction of the link rate left to the packet
+    /// plane (the rest is held by fluid elephants). `None` = full rate on
+    /// every link, and serialization times are bit-identical to the plain
+    /// engine — the `HybridMode::PacketOnly` guarantee rests on this
+    /// staying `None`.
+    rate_scale: Option<Box<[f64]>>,
 }
 
 impl<F: Forwarding> Simulation<F> {
@@ -322,6 +330,7 @@ impl<F: Forwarding> Simulation<F> {
             cut_at: Vec::new(),
             no_route_drops: 0,
             ctrl_pending: 0,
+            rate_scale: None,
         }
     }
 
@@ -485,61 +494,98 @@ impl<F: Forwarding> Simulation<F> {
             self.now = t;
             self.cur_seq = seq;
             self.events += 1;
-            match ev {
-                Ev::FlowStart(f) => {
-                    let mut out = std::mem::take(&mut self.out_scratch);
-                    self.senders[f as usize].start_into(t, &mut out);
-                    self.apply_tcp_output(f, &out);
-                    self.out_scratch = out;
-                }
-                Ev::TxDone(link) => {
-                    if let Some(pkt) = self.queues[link as usize].tx_done() {
-                        let tx = self.cfg.tx_ns(pkt.size);
-                        if self.fast && !self.queues[link as usize].has_queued() {
-                            // Nothing behind the wire: elide the next
-                            // terminal TxDone, reserving its seq so the
-                            // (time, seq) stream matches the reference.
-                            self.seq += 1;
-                            self.queues[link as usize].pending_txdone =
-                                Some((self.now + tx, self.seq));
-                        } else {
-                            self.push(self.now + tx, Ev::TxDone(link));
-                        }
-                        self.push(self.now + tx + self.link_delay(link), Ev::Arrive(link, pkt));
-                    } else {
-                        // Terminal TxDone: the reference datapath processes
-                        // these; the fast path only materializes one with
-                        // an empty queue behind it when a LinkDown flushed
-                        // the queue after materialization.
-                        debug_assert!(
-                            !self.fast || self.dynf.is_some(),
-                            "fast path popped a terminal TxDone"
-                        );
-                    }
-                }
-                Ev::Arrive(link, pkt) => self.on_arrive(link, pkt),
-                Ev::Rto(f, gen) => {
-                    if !self.rto_abandoned(f) {
-                        let mut out = std::mem::take(&mut self.out_scratch);
-                        self.senders[f as usize].on_timer_into(t, gen, &mut out);
-                        self.apply_tcp_output(f, &out);
-                        self.out_scratch = out;
-                    }
-                }
-                Ev::Control(i) => {
-                    self.ctrl_pending -= 1;
-                    self.apply_control(i);
-                }
-                Ev::Reconverge(gen) => {
-                    self.ctrl_pending -= 1;
-                    self.reconverge(gen);
-                }
-            }
+            self.dispatch(ev);
             if self.completed == self.specs.len() {
                 break;
             }
         }
         self.report()
+    }
+
+    /// Processes every event with `t <= deadline` (and within
+    /// `cfg.max_time_ns`), then advances `now` to the (clamped) deadline.
+    /// Events beyond the deadline stay queued; a later `run_until` or
+    /// [`run`](Self::run) picks them up. Returns `false` once the time
+    /// horizon has been reached (nothing further can execute).
+    ///
+    /// This is the packet half of the hybrid co-simulation loop: the
+    /// driver alternates bounded packet windows with fluid re-solves at
+    /// elephant arrival/departure and failure control points.
+    pub fn run_until(&mut self, deadline: Ns) -> bool {
+        self.resolve_scheduler();
+        let deadline = deadline.min(self.cfg.max_time_ns);
+        while let Some((t, seq, ev)) = self.next_event_until(deadline) {
+            self.now = t;
+            self.cur_seq = seq;
+            self.events += 1;
+            self.dispatch(ev);
+            if self.completed == self.specs.len() {
+                break;
+            }
+        }
+        // Time advances to the window edge even when no event landed
+        // exactly on it, so the caller's rate integration sees contiguous
+        // windows and nothing can later execute "in the past".
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        deadline < self.cfg.max_time_ns
+    }
+
+    /// Executes one event (shared by [`run`](Self::run) and
+    /// [`run_until`](Self::run_until)); `self.now`/`self.cur_seq` are
+    /// already set to the event's key.
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::FlowStart(f) => {
+                let mut out = std::mem::take(&mut self.out_scratch);
+                self.senders[f as usize].start_into(self.now, &mut out);
+                self.apply_tcp_output(f, &out);
+                self.out_scratch = out;
+            }
+            Ev::TxDone(link) => {
+                if let Some(pkt) = self.queues[link as usize].tx_done() {
+                    let tx = self.tx_ns_on(link, pkt.size);
+                    if self.fast && !self.queues[link as usize].has_queued() {
+                        // Nothing behind the wire: elide the next
+                        // terminal TxDone, reserving its seq so the
+                        // (time, seq) stream matches the reference.
+                        self.seq += 1;
+                        self.queues[link as usize].pending_txdone =
+                            Some((self.now + tx, self.seq));
+                    } else {
+                        self.push(self.now + tx, Ev::TxDone(link));
+                    }
+                    self.push(self.now + tx + self.link_delay(link), Ev::Arrive(link, pkt));
+                } else {
+                    // Terminal TxDone: the reference datapath processes
+                    // these; the fast path only materializes one with
+                    // an empty queue behind it when a LinkDown flushed
+                    // the queue after materialization.
+                    debug_assert!(
+                        !self.fast || self.dynf.is_some(),
+                        "fast path popped a terminal TxDone"
+                    );
+                }
+            }
+            Ev::Arrive(link, pkt) => self.on_arrive(link, pkt),
+            Ev::Rto(f, gen) => {
+                if !self.rto_abandoned(f) {
+                    let mut out = std::mem::take(&mut self.out_scratch);
+                    self.senders[f as usize].on_timer_into(self.now, gen, &mut out);
+                    self.apply_tcp_output(f, &out);
+                    self.out_scratch = out;
+                }
+            }
+            Ev::Control(i) => {
+                self.ctrl_pending -= 1;
+                self.apply_control(i);
+            }
+            Ev::Reconverge(gen) => {
+                self.ctrl_pending -= 1;
+                self.reconverge(gen);
+            }
+        }
     }
 
     /// Pops the next event in global `(time, seq)` order, merging the
@@ -556,6 +602,29 @@ impl<F: Forwarding> Simulation<F> {
             return Some((t, s, Ev::Rto(flow, gen)));
         }
         self.staged.take()
+    }
+
+    /// [`next_event`](Self::next_event) bounded at `deadline`: events (and
+    /// wheel timers) past it stay in place for a later window. The wheel
+    /// bound is capped at `(deadline + 1, 0)` — every timer at
+    /// `t <= deadline` sorts strictly below it, and the anchor advance it
+    /// triggers is sound because the caller stops processing at `deadline`
+    /// and every later insert lands after it.
+    fn next_event_until(&mut self, deadline: Ns) -> Option<(Ns, u64, Ev)> {
+        if self.staged.is_none() {
+            self.staged = self.queue.pop();
+        }
+        let bound = self
+            .staged
+            .map_or((Ns::MAX, u64::MAX), |(t, s, _)| (t, s))
+            .min((deadline.saturating_add(1), 0));
+        if let Some((t, s, flow, gen)) = self.wheel.pop_before(bound) {
+            return Some((t, s, Ev::Rto(flow, gen)));
+        }
+        match self.staged {
+            Some((t, _, _)) if t <= deadline => self.staged.take(),
+            _ => None,
+        }
     }
 
     /// Builds the report from current state (also used after early stop).
@@ -656,6 +725,74 @@ impl<F: Forwarding> Simulation<F> {
         } else {
             self.cfg.server_link_delay_ns
         }
+    }
+
+    // ---- hybrid co-simulation hooks ----
+
+    /// Current simulated time, ns.
+    pub fn now(&self) -> Ns {
+        self.now
+    }
+
+    /// Total directed links (switch links, then uplinks, then downlinks —
+    /// the same index space as `spineless_fluid::LinkSpace`).
+    pub fn num_dir_links(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Installs per-link residual capacity fractions: link `l` serializes
+    /// packets at `residual[l] × link rate`. The hybrid driver pushes the
+    /// capacity left over after the fluid elephants' max-min allocation
+    /// here after every re-solve. Values are clamped to `[1e-6, 1.0]` —
+    /// a link fully consumed by elephants still trickles packets rather
+    /// than stalling the DES.
+    ///
+    /// Affects packets whose serialization *starts* after the call;
+    /// packets already on the wire keep their scheduled times (the same
+    /// convention as a real PHY rate change).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `residual.len() == self.num_dir_links()`.
+    pub fn set_link_residuals(&mut self, residual: &[f64]) {
+        assert_eq!(residual.len(), self.queues.len(), "residual vector length mismatch");
+        let scale = self
+            .rate_scale
+            .get_or_insert_with(|| vec![1.0f64; residual.len()].into_boxed_slice());
+        for (s, &r) in scale.iter_mut().zip(residual) {
+            *s = r.clamp(1e-6, 1.0);
+        }
+    }
+
+    /// Serialization time of `bytes` on `link` under the current residual
+    /// capacity; exactly [`SimConfig::tx_ns`] when no residuals are
+    /// installed (bit-identity for the plain and `PacketOnly` engines).
+    fn tx_ns_on(&self, link: DirLinkId, bytes: u32) -> Ns {
+        match &self.rate_scale {
+            None => self.cfg.tx_ns(bytes),
+            Some(scale) => {
+                let s = scale[link as usize];
+                if s >= 1.0 {
+                    self.cfg.tx_ns(bytes)
+                } else {
+                    (bytes as f64 / (self.cfg.bytes_per_ns() * s)).ceil() as Ns
+                }
+            }
+        }
+    }
+
+    /// Whether directed link `l` is currently alive (always `true` when no
+    /// failure schedule is installed).
+    pub fn link_is_alive(&self, l: DirLinkId) -> bool {
+        self.link_alive.is_empty() || self.link_alive[l as usize]
+    }
+
+    /// The reconverged forwarding plane currently active, as (degraded
+    /// state, degraded-edge → original-edge map); `None` while forwarding
+    /// on the intact baseline. The hybrid driver re-routes stalled
+    /// elephants over this plane when the packet control plane converges.
+    pub(crate) fn swap_plane_view(&self) -> Option<(&ForwardingState, &[EdgeId])> {
+        self.swap.as_ref().map(|sp| (&sp.fs, &sp.edge_map[..]))
     }
 
     // ---- dynamic-failure internals ----
@@ -861,7 +998,7 @@ impl<F: Forwarding> Simulation<F> {
         }
         match self.queues[link as usize].offer(pkt, self.cfg.queue_bytes, ecn) {
             Offer::StartTx => {
-                let tx = self.cfg.tx_ns(pkt.size);
+                let tx = self.tx_ns_on(link, pkt.size);
                 if self.fast {
                     // The queue behind a freshly started wire is empty, so
                     // this TxDone would be terminal: elide it (reserving
@@ -897,7 +1034,7 @@ impl<F: Forwarding> Simulation<F> {
                 || (cut != NEVER_CUT
                     && cut
                         .saturating_add(self.link_delay(link))
-                        .saturating_add(self.cfg.tx_ns(pkt.size))
+                        .saturating_add(self.tx_ns_on(link, pkt.size))
                         >= self.now)
             {
                 self.queues[link as usize].drops += 1;

@@ -31,6 +31,7 @@
 pub mod engine;
 pub mod equeue;
 pub mod failure;
+pub mod hybrid;
 pub mod link;
 pub mod packet;
 pub mod shard;
@@ -40,6 +41,7 @@ pub mod types;
 pub use engine::Simulation;
 pub use equeue::{CalendarQueue, EventQueue, HeapQueue, TimerWheel};
 pub use failure::{FailureEvent, FailureSchedule};
+pub use hybrid::{HybridConfig, HybridMode, HybridReport, HybridSimulation};
 pub use shard::{
     choose_engine, estimate_events, EngineChoice, ExecMode, ShardedSimulation,
 };

@@ -28,9 +28,11 @@
 
 pub mod cs;
 pub mod flows;
+pub mod openloop;
 pub mod pareto;
 pub mod tm;
 
 pub use cs::CsAssignment;
 pub use flows::{FlowSet, FlowSpec};
+pub use openloop::{poisson_from_tm, FlowClass};
 pub use tm::TrafficMatrix;

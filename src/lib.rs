@@ -53,7 +53,8 @@ pub mod prelude {
     pub use spineless_fluid::solve as fluid_solve;
     pub use spineless_routing::{ForwardingState, RoutingScheme, VrfGraph};
     pub use spineless_sim::{
-        Datapath, FailureEvent, FailureSchedule, Scheduler, SimConfig, SimReport, Simulation,
+        Datapath, FailureEvent, FailureSchedule, HybridConfig, HybridMode, HybridReport,
+        HybridSimulation, Scheduler, SimConfig, SimReport, Simulation,
     };
     pub use spineless_topo::dring::DRing;
     pub use spineless_topo::leafspine::LeafSpine;
@@ -62,5 +63,5 @@ pub mod prelude {
     pub use spineless_topo::Topology;
     pub use spineless_workload::cs::CsAssignment;
     pub use spineless_workload::pareto::ParetoFlowSizes;
-    pub use spineless_workload::{FlowSet, TrafficMatrix};
+    pub use spineless_workload::{poisson_from_tm, FlowClass, FlowSet, TrafficMatrix};
 }
