@@ -8,7 +8,10 @@
 //! incremental failure recompute, fast datapath: FIB hot-cache + RTO
 //! timer wheel + terminal-TxDone elision + zero-alloc TCP turnaround).
 //! Writes `BENCH_sim.json` (wall time, events/sec, pkt-hops/sec,
-//! cells/sec, speedups) and prints a summary.
+//! cells/sec, speedups) and prints a summary. Tier sections add the
+//! at-scale sharded engine, the hybrid open-loop regime, and the
+//! design-search envelope sweep (per-cell cold rebuilds vs incremental
+//! expansion + structural memoization).
 //!
 //! Build with `--features count-allocs` to additionally report measured
 //! allocations per packet-hop for both datapaths (a counting global
@@ -29,6 +32,7 @@ use spineless_bench::{parse_args_quick, warn_if_serial_fallback};
 use spineless_core::fct::{
     generate_workload, paper_combos, run_cell, run_cell_with, FctCell, FctConfig, TmKind,
 };
+use spineless_core::search::{run_search, run_search_reference, SearchResult, SearchSpec};
 use spineless_core::throughput::{cs_axis_values, run_fig5_panel, run_fig5_panel_serial};
 use spineless_core::{EvalTopos, RoutingCache, Scale};
 use spineless_fluid::{max_min_rates, max_min_rates_reference, LinkSpace};
@@ -486,6 +490,122 @@ fn run_hybrid_tier(quick: bool, seed: u64) -> String {
     )
 }
 
+/// Frontier fingerprint: every deterministic metric of every frontier
+/// cell, so bitwise comparison catches any drift.
+fn frontier_fingerprint(r: &SearchResult) -> Vec<(String, u64, u64, u64)> {
+    r.frontier_cells()
+        .map(|c| {
+            (c.name.clone(), c.cost(), c.nsr.to_bits(), c.throughput.unwrap_or(0.0).to_bits())
+        })
+        .collect()
+}
+
+/// The design-search tier: sweep the equipment envelope (family × radix ×
+/// switch budget) once through the cold reference (every cell builds its
+/// forwarding state from scratch) and once through the accelerated engine
+/// (incremental expansion along each row's growth axis + structural memo +
+/// dominance pruning), on one worker so the ratio isolates the algorithmic
+/// layers. Both sweeps must agree on every frontier bit, and the frontier
+/// must not move across 1/2/4 workers. The full tier asserts the >=2x
+/// cells/sec bar; quick mode just records.
+fn run_design_search_tier(quick: bool, seed: u64) -> String {
+    // The radius band 16..=23 is where structure coincides: every DRing
+    // design shares (supernodes, tors) across it, and Jellyfish shares its
+    // net degree within {16..19} and {20..23} — so the memo layer, not just
+    // incremental expansion, carries the accelerated sweep. Budgets in the
+    // hundreds make ForwardingState::build dominate per-cell fixed costs.
+    let spec = if quick {
+        SearchSpec {
+            radii: vec![16, 18],
+            counts: vec![60, 70, 80],
+            max_pairs: 256,
+            workers: 1,
+            ..SearchSpec::small(seed)
+        }
+    } else {
+        SearchSpec {
+            radii: vec![16, 18, 20, 22],
+            counts: vec![360, 370, 380, 390, 400],
+            max_pairs: 512,
+            workers: 1,
+            ..SearchSpec::small(seed)
+        }
+    };
+    let envelope = format!(
+        "{} families x {:?} radii x {:?} budgets, {} pair cap",
+        spec.families.len(),
+        spec.radii,
+        spec.counts,
+        spec.max_pairs
+    );
+
+    let t0 = Instant::now();
+    let cold = run_search_reference(&spec);
+    let cold_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let accel = run_search(&spec);
+    let accel_s = t0.elapsed().as_secs_f64();
+
+    let base = frontier_fingerprint(&accel);
+    assert_eq!(
+        frontier_fingerprint(&cold),
+        base,
+        "design_search: accelerations changed the frontier"
+    );
+    assert_eq!(cold.stats.cells, accel.stats.cells, "design_search: cell counts diverged");
+    for workers in [2usize, 4] {
+        let alt = run_search(&SearchSpec { workers, ..spec.clone() });
+        assert_eq!(
+            frontier_fingerprint(&alt),
+            base,
+            "design_search: frontier drifted at {workers} workers"
+        );
+    }
+
+    let cells = accel.stats.cells;
+    let speedup = cold_s / accel_s;
+    let s = accel.stats;
+    eprintln!(
+        "design_search: {cells} cells — cold {:.2} cells/s, accelerated {:.2} cells/s ({speedup:.2}x); \
+         {} cold builds, {} incremental, {} memo hits, {} pruned; frontier of {} identical across 1/2/4 workers",
+        cells as f64 / cold_s,
+        cells as f64 / accel_s,
+        s.cold,
+        s.incremental,
+        s.memo,
+        s.pruned,
+        base.len()
+    );
+    if !quick {
+        assert!(
+            speedup >= 2.0,
+            "design_search: accelerated sweep must be >=2x the cold reference, got {speedup:.2}x"
+        );
+    }
+
+    format!(
+        r#",
+  "design_search": {{
+    "envelope": "{envelope}",
+    "scheme": "shortest-union(2)",
+    "cells": {cells},
+    "frontier_size": {frontier},
+    "cold": {{ "wall_s": {cold_s:.3}, "cells_per_sec": {cold_cps:.3} }},
+    "accelerated": {{ "wall_s": {accel_s:.3}, "cells_per_sec": {accel_cps:.3}, "cold_builds": {cb}, "incremental": {inc}, "memo_hits": {memo}, "solves_pruned": {pruned} }},
+    "speedup": {speedup:.3},
+    "frontier_identical_across_workers": [1, 2, 4],
+    "results_identical": true
+  }}"#,
+        frontier = base.len(),
+        cold_cps = cells as f64 / cold_s,
+        accel_cps = cells as f64 / accel_s,
+        cb = s.cold,
+        inc = s.incremental,
+        memo = s.memo,
+        pruned = s.pruned,
+    )
+}
+
 fn main() {
     let args = parse_args_quick();
     let (scale_req, seed, quick) = (args.scale, args.seed, args.quick);
@@ -830,11 +950,16 @@ fn main() {
     // open-loop regime. ---
     tier_sections.push_str(&run_hybrid_tier(quick, seed));
 
+    // --- Design-search tier: the equipment-envelope sweep, cold reference
+    // vs the incremental+memoized engine, always on (it is cheap and its
+    // determinism asserts are the frontier's contract). ---
+    tier_sections.push_str(&run_design_search_tier(quick, seed));
+
     // Hand-rolled JSON: the workspace deliberately carries no serde_json
     // dependency, and the document is flat enough that format! suffices.
     let json = format!(
         r#"{{
-  "schema": "bench_snapshot/v6",
+  "schema": "bench_snapshot/v7",
   "seed": {seed},
   "scale": "{scale_label}",
   "quick": {quick},

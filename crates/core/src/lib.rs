@@ -18,6 +18,10 @@
 //!   flat fabrics.
 //! * [`topos`] — the evaluation topology trio at paper scale or a
 //!   proportionally reduced "small" scale for quick runs.
+//! * [`search`] — the design-space search: sweep the equipment envelope
+//!   (radix × switch budget × topology family) and report the Pareto
+//!   frontier over cost, NSR and fluid throughput, accelerated by
+//!   incremental expansion, structural memoization and dominance pruning.
 //! * [`stats`] — percentile helpers shared by the experiments.
 //!
 //! Everything is deterministic given the experiment seed. Heavy grids run
@@ -43,6 +47,7 @@ pub mod cache;
 pub mod fct;
 pub mod recovery;
 pub mod scale;
+pub mod search;
 pub mod stats;
 pub mod throughput;
 pub mod topos;

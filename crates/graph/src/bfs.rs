@@ -74,6 +74,39 @@ impl DistanceMatrix {
     pub fn at(&self, u: NodeId, v: NodeId) -> u32 {
         self.dist[u as usize * self.n as usize + v as usize]
     }
+
+    /// Diameter read off the matrix (max finite pairwise distance).
+    /// `None` if any pair is disconnected or the matrix is empty.
+    pub fn diameter(&self) -> Option<u32> {
+        if self.n == 0 {
+            return None;
+        }
+        let mut best = 0;
+        for &x in &self.dist {
+            if x == UNREACHABLE {
+                return None;
+            }
+            best = best.max(x);
+        }
+        Some(best)
+    }
+
+    /// Mean hop distance over ordered distinct pairs, read off the matrix.
+    /// `None` if any pair is disconnected or there are fewer than two nodes.
+    pub fn mean_distance(&self) -> Option<f64> {
+        let n = self.n as u64;
+        if n < 2 {
+            return None;
+        }
+        let mut sum = 0u64;
+        for &x in &self.dist {
+            if x == UNREACHABLE {
+                return None;
+            }
+            sum += x as u64;
+        }
+        Some(sum as f64 / (n * (n - 1)) as f64)
+    }
 }
 
 impl std::ops::Index<usize> for DistanceMatrix {
@@ -99,6 +132,32 @@ pub fn all_pairs_distances(g: &Graph) -> DistanceMatrix {
         bfs_into(g, v as NodeId, row, &mut q);
     }
     DistanceMatrix { n, dist }
+}
+
+/// Diameter and mean distance in one BFS sweep over a single reused
+/// distance row — the flat [`DistanceMatrix`] scratch path without the
+/// `V²` allocation. Equals `(diameter(g), mean_distance(g))` when both
+/// are `Some`; `None` if disconnected or fewer than two nodes.
+pub fn path_stats(g: &Graph) -> Option<(u32, f64)> {
+    let n = g.num_nodes() as u64;
+    if n < 2 {
+        return None;
+    }
+    let mut best = 0u32;
+    let mut sum = 0u64;
+    let mut dist = vec![UNREACHABLE; g.num_nodes() as usize];
+    let mut q = VecDeque::new();
+    for v in 0..g.num_nodes() {
+        bfs_into(g, v, &mut dist, &mut q);
+        for &x in &dist {
+            if x == UNREACHABLE {
+                return None;
+            }
+            best = best.max(x);
+            sum += x as u64;
+        }
+    }
+    Some((best, sum as f64 / (n * (n - 1)) as f64))
 }
 
 /// Diameter (max finite pairwise distance). `None` if disconnected or empty.
@@ -281,6 +340,27 @@ mod tests {
         assert_eq!(diameter(&disc), None);
         b.add_edge(0, 1);
         assert_eq!(diameter(&b.build()), Some(1));
+    }
+
+    #[test]
+    fn path_stats_matches_separate_sweeps() {
+        for g in [cycle(6), k4(), cycle(3)] {
+            let (d, m) = path_stats(&g).unwrap();
+            assert_eq!(Some(d), diameter(&g));
+            assert_eq!(Some(m), mean_distance(&g));
+            let matrix = all_pairs_distances(&g);
+            assert_eq!(matrix.diameter(), Some(d));
+            assert_eq!(matrix.mean_distance(), Some(m));
+        }
+        // Disconnected and degenerate cases report None everywhere.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        let disc = b.build();
+        assert_eq!(path_stats(&disc), None);
+        assert_eq!(all_pairs_distances(&disc).diameter(), None);
+        assert_eq!(all_pairs_distances(&disc).mean_distance(), None);
+        assert_eq!(path_stats(&GraphBuilder::new(1).build()), None);
+        assert_eq!(path_stats(&GraphBuilder::new(0).build()), None);
     }
 
     #[test]

@@ -458,6 +458,34 @@ impl CsrSpDag {
         }
     }
 
+    /// The expansion dual of [`CsrSpDag::remap_arcs`]: the same DAG with
+    /// every arc id passed through `map`, `tail_dist` appended to the
+    /// distance labels, and one appended next-hop row per new tail node
+    /// (in node-id order, entries in the grown graph's adjacency order).
+    /// This is how the incremental expansion recompute translates an
+    /// unaffected DAG into a grown graph's node and arc id spaces.
+    pub fn remap_extend(
+        &self,
+        map: impl Fn(ArcId) -> ArcId,
+        tail_dist: &[u64],
+        tail_rows: &[Vec<(NodeId, ArcId)>],
+    ) -> CsrSpDag {
+        assert_eq!(tail_dist.len(), tail_rows.len(), "tail dist/rows mis-sized");
+        let mut dist = Vec::with_capacity(self.dist.len() + tail_dist.len());
+        dist.extend_from_slice(&self.dist);
+        dist.extend_from_slice(tail_dist);
+        let extra: usize = tail_rows.iter().map(|r| r.len()).sum();
+        let mut off = Vec::with_capacity(self.off.len() + tail_rows.len());
+        off.extend_from_slice(&self.off);
+        let mut hops = Vec::with_capacity(self.hops.len() + extra);
+        hops.extend(self.hops.iter().map(|&(v, a)| (v, map(a))));
+        for row in tail_rows {
+            hops.extend_from_slice(row);
+            off.push(hops.len() as u32);
+        }
+        CsrSpDag { dst: self.dst, dist, off, hops }
+    }
+
     /// Samples a minimum-cost path from `src` by a uniform random walk
     /// over next-hop arcs (per-hop ECMP). `None` if unreachable.
     pub fn sample_path<R: Rng>(&self, src: NodeId, rng: &mut R) -> Option<Vec<NodeId>> {
@@ -680,6 +708,35 @@ mod tests {
         }
         assert_eq!(csr.num_entries(), shifted.num_entries());
         assert_eq!(csr.num_nodes(), 4);
+    }
+
+    #[test]
+    fn csr_remap_extend_appends_tail_rows() {
+        let g = diamond();
+        let csr = CsrSpDag::towards(&g, 3);
+        // Pretend two nodes were appended: node 4 one hop from dst via a
+        // fictitious arc 20, node 5 unreachable.
+        let grown = csr.remap_extend(
+            |a| a + 10,
+            &[1, UNREACHABLE as u64],
+            &[vec![(3, 20)], vec![]],
+        );
+        assert_eq!(grown.num_nodes(), 6);
+        assert_eq!(grown.dist[..4], csr.dist[..]);
+        assert_eq!(grown.dist[4], 1);
+        assert_eq!(grown.dist[5], UNREACHABLE as u64);
+        for u in 0..4 {
+            let orig = csr.next_hops(u);
+            let moved = grown.next_hops(u);
+            assert_eq!(orig.len(), moved.len());
+            for (&(v, a), &(mv, ma)) in orig.iter().zip(moved) {
+                assert_eq!(v, mv);
+                assert_eq!(a + 10, ma);
+            }
+        }
+        assert_eq!(grown.next_hops(4), &[(3, 20)]);
+        assert!(grown.next_hops(5).is_empty());
+        assert_eq!(grown.num_entries(), csr.num_entries() + 1);
     }
 
     #[test]

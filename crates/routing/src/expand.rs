@@ -1,0 +1,436 @@
+//! Incremental *expansion* recompute — the link-addition dual of
+//! [`crate::failures::incremental_rebuild`].
+//!
+//! The design search sweeps a topology family along its growth axis
+//! (Jellyfish adds switches by replacing cables, the DRing appends
+//! supernodes). Adjacent sweep cells differ by a few cables, yet a naive
+//! sweep rebuilds the full forwarding state per cell. This module
+//! recomputes the grown network's state from the smaller network's:
+//! destinations whose min-cost DAG provably cannot change are *translated*
+//! (arc ids remapped, distance labels and next-hop rows for the appended
+//! switches attached); only destinations whose DAG gains, loses or
+//! improves a path are rebuilt — bit-identical to a full build, pinned in
+//! debug builds, tests and proptests.
+//!
+//! *Why it is exact.* Fix a destination `d` of the smaller network with
+//! distance labels `dist_old` over its VRF nodes, and let the grown
+//! network keep every surviving arc's endpoints while appending its new
+//! switches' VRF nodes after the old ones. Three checks:
+//!
+//! 1. **No removed arc in the DAG** (the failure-side test): every old
+//!    min-cost path towards `d` then survives, so grown distances at old
+//!    nodes can only stay or *improve* — `D(v) ≤ dist_old(v)`.
+//! 2. **Boundary labels for new nodes**: every arc incident to a new VRF
+//!    node is an added arc, so a Dijkstra over the new-node subgraph
+//!    seeded through arcs into old nodes (at cost `w + dist_old(head)`)
+//!    yields a label `dist*(t)` for each new node `t`, assuming old labels
+//!    hold.
+//! 3. **No added arc tightens an old label**: for every added arc
+//!    `(u → v, w)` with an old tail `u`, require `label(v) + w >
+//!    dist_old(u)` *strictly* (where `label` is `dist_old` on old heads
+//!    and `dist*` on new heads) unless `u` is the destination itself.
+//!    Equality would add the arc to `u`'s DAG row; less would shorten it.
+//!
+//! If all three hold, induction on path length shows no path in the grown
+//! graph beats the labels: a path from an old node either starts with a
+//! surviving arc (old triangle inequality) or an added arc (check 3), and
+//! a path from a new node starts with an added arc priced into `dist*` by
+//! check 2. Distances and old DAG rows are therefore unchanged — rows
+//! translate by arc renumbering (order-preserving because survivor edges
+//! keep their relative order and the VRF emits a fixed arc block per
+//! edge) — and the new nodes' rows follow from the labels by the standard
+//! inclusion rule.
+
+use crate::fib::{build_dags, ForwardingState};
+use crate::vrf::VrfGraph;
+use spineless_graph::digraph::ArcId;
+use spineless_graph::{CsrSpDag, EdgeId, Graph, NodeId, UNREACHABLE};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Matches the edges of `old` to the edges of `new` by endpoint tuples:
+/// entry `e` is `Some(e')` when old edge `e` survives as new edge `e'`
+/// (same endpoints, same orientation), `None` when it was removed.
+/// Repeated tuples pair up in order, so parallel cables match one-to-one.
+///
+/// Returns `None` when the pairing is not monotone (survivors change
+/// relative order) — the caller should fall back to a cold build. Growth
+/// steps of the in-tree families (DRing supernode appends, Jellyfish
+/// cable replacement, De Bruijn regeneration) all produce monotone maps.
+pub fn edge_map_by_endpoints(old: &Graph, new: &Graph) -> Option<Vec<Option<EdgeId>>> {
+    use std::collections::HashMap;
+    let mut queues: HashMap<(NodeId, NodeId), std::collections::VecDeque<EdgeId>> =
+        HashMap::new();
+    for e in 0..new.num_edges() {
+        queues.entry(new.edge(e)).or_default().push_back(e);
+    }
+    let mut map = Vec::with_capacity(old.num_edges() as usize);
+    let mut last: Option<EdgeId> = None;
+    for e in 0..old.num_edges() {
+        let hit = queues.get_mut(&old.edge(e)).and_then(|q| q.pop_front());
+        if let Some(ne) = hit {
+            if last.is_some_and(|p| ne < p) {
+                return None; // survivors reordered
+            }
+            last = Some(ne);
+        }
+        map.push(hit);
+    }
+    Some(map)
+}
+
+/// VRF arcs emitted per physical edge: 2 per direction for `k ≥ 2`
+/// (rule 1's `k` + rule 2's `k − 1` + rule 3's one), 1 for the `k = 1`
+/// degenerate case.
+fn arcs_per_edge(k: u32) -> u32 {
+    if k == 1 {
+        2
+    } else {
+        4 * k
+    }
+}
+
+/// Recomputes forwarding state for the grown physical graph `grown` from
+/// the smaller network's `baseline`, given the survivor map
+/// `old_to_new_edge` (see [`edge_map_by_endpoints`]; producers like
+/// `Jellyfish::expand` report it directly). Bit-identical to
+/// `ForwardingState::build(grown, baseline.scheme)` — cross-checked in
+/// debug builds.
+///
+/// # Panics
+///
+/// Panics if `grown` dropped switches of the baseline (growth appends,
+/// never renumbers), if the map's length or monotonicity is wrong, or if
+/// a claimed survivor changed endpoints.
+pub fn incremental_expand(
+    baseline: &ForwardingState,
+    grown: &Graph,
+    old_to_new_edge: &[Option<EdgeId>],
+) -> ForwardingState {
+    let scheme = baseline.scheme;
+    let k = scheme.k();
+    let old_routers = baseline.vrf.routers;
+    let new_routers = grown.num_nodes();
+    assert!(
+        new_routers >= old_routers,
+        "grown graph has fewer switches than the baseline's topology"
+    );
+    let ape = arcs_per_edge(k);
+    let old_edges = baseline.vrf.graph.num_arcs() / ape;
+    assert_eq!(
+        old_to_new_edge.len(),
+        old_edges as usize,
+        "survivor map does not cover the baseline's edges"
+    );
+
+    let vrf = VrfGraph::build(grown, k);
+    let old_vnodes = baseline.vrf.graph.num_nodes();
+    let new_vnodes = vrf.graph.num_nodes();
+    let new_edges = vrf.graph.num_arcs() / ape;
+
+    // Validate the survivor map and classify every new edge. Endpoints are
+    // read off each edge's first VRF arc (tail router, head router of the
+    // (x, y) direction), so no old physical graph is needed.
+    let endpoints = |g: &spineless_graph::DiGraph, e: EdgeId, k: u32| {
+        let (x, y, _) = g.arc(e * ape);
+        (x / k, y / k)
+    };
+    let mut survivor_image = vec![false; new_edges as usize];
+    let mut edge_new_base: Vec<Option<ArcId>> = Vec::with_capacity(old_edges as usize);
+    let mut removed_arcs: Vec<(NodeId, NodeId, u64)> = Vec::new();
+    let mut last = None;
+    for e in 0..old_edges {
+        match old_to_new_edge[e as usize] {
+            Some(ne) => {
+                assert!(ne < new_edges, "survivor map points past the grown graph");
+                assert!(
+                    last.is_none_or(|p| ne > p),
+                    "survivor map is not monotone at old edge {e}"
+                );
+                assert_eq!(
+                    endpoints(&baseline.vrf.graph, e, k),
+                    endpoints(&vrf.graph, ne, k),
+                    "old edge {e} changed endpoints as new edge {ne}"
+                );
+                last = Some(ne);
+                survivor_image[ne as usize] = true;
+                edge_new_base.push(Some(ne * ape));
+            }
+            None => {
+                for a in e * ape..(e + 1) * ape {
+                    let (x, y, w) = baseline.vrf.graph.arc(a);
+                    removed_arcs.push((x, y, w as u64));
+                }
+                edge_new_base.push(None);
+            }
+        }
+    }
+
+    // Added arcs with an *old* tail, for check 3. Arcs with a new tail are
+    // walked through `out_arcs` during the boundary Dijkstra instead.
+    let mut added_old_tail: Vec<(NodeId, NodeId, u64)> = Vec::new();
+    for ne in 0..new_edges {
+        if !survivor_image[ne as usize] {
+            for a in ne * ape..(ne + 1) * ape {
+                let (u, v, w) = vrf.graph.arc(a);
+                if u < old_vnodes {
+                    added_old_tail.push((u, v, w as u64));
+                }
+            }
+        }
+    }
+
+    // Boundary Dijkstra scratch, reused across destinations.
+    let tail = (new_vnodes - old_vnodes) as usize;
+    let mut dist_star = vec![UNREACHABLE as u64; tail];
+    let mut heap: BinaryHeap<Reverse<(u64, NodeId)>> = BinaryHeap::new();
+
+    let mut rebuild: Vec<NodeId> = Vec::new();
+    let mut translated: Vec<(NodeId, CsrSpDag)> = Vec::new();
+    for d in 0..old_routers {
+        let dist_old = &baseline.dags[d as usize].dist;
+
+        // Check 1 — the failure-side test: a removed arc (x → y, w) was in
+        // d's DAG iff it closed the distance gap at a live, non-destination
+        // tail.
+        let removed_hit = removed_arcs.iter().any(|&(x, y, w)| {
+            let (dx, dy) = (dist_old[x as usize], dist_old[y as usize]);
+            dx != 0 && dx != UNREACHABLE as u64 && dy != UNREACHABLE as u64 && dy + w == dx
+        });
+        if removed_hit {
+            rebuild.push(d);
+            continue;
+        }
+
+        // Check 2 — label the appended VRF nodes. Every arc leaving a new
+        // node is added, so seeding through arcs into old nodes and
+        // relaxing inside the new-node subgraph is a complete Dijkstra.
+        dist_star.fill(UNREACHABLE as u64);
+        heap.clear();
+        for t in old_vnodes..new_vnodes {
+            let mut best = UNREACHABLE as u64;
+            for &(v, a) in vrf.graph.out_arcs(t) {
+                if v < old_vnodes {
+                    let dv = dist_old[v as usize];
+                    if dv != UNREACHABLE as u64 {
+                        best = best.min(vrf.graph.arc(a).2 as u64 + dv);
+                    }
+                }
+            }
+            if best != UNREACHABLE as u64 {
+                dist_star[(t - old_vnodes) as usize] = best;
+                heap.push(Reverse((best, t)));
+            }
+        }
+        while let Some(Reverse((du, t))) = heap.pop() {
+            if du > dist_star[(t - old_vnodes) as usize] {
+                continue;
+            }
+            for &(v, a) in vrf.graph.out_arcs(t) {
+                if v >= old_vnodes {
+                    let nd = du + vrf.graph.arc(a).2 as u64;
+                    if nd < dist_star[(v - old_vnodes) as usize] {
+                        dist_star[(v - old_vnodes) as usize] = nd;
+                        heap.push(Reverse((nd, v)));
+                    }
+                }
+            }
+        }
+        let label = |v: NodeId, dist_old: &[u64], dist_star: &[u64]| {
+            if v < old_vnodes {
+                dist_old[v as usize]
+            } else {
+                dist_star[(v - old_vnodes) as usize]
+            }
+        };
+
+        // Check 3 — no added arc with an old tail ties or beats the old
+        // label (a tie would join the DAG; a win would shorten it).
+        let added_hit = added_old_tail.iter().any(|&(u, v, w)| {
+            let lu = dist_old[u as usize];
+            let lv = label(v, dist_old, &dist_star);
+            lu != 0 && lv != UNREACHABLE as u64 && lv + w <= lu
+        });
+        if added_hit {
+            rebuild.push(d);
+            continue;
+        }
+
+        // Unaffected: translate. Old rows remap into the grown arc id
+        // space; the appended nodes' rows follow the standard inclusion
+        // rule over the grown adjacency (arc order = arc id order).
+        let mut tail_dist = Vec::with_capacity(tail);
+        let mut tail_rows = Vec::with_capacity(tail);
+        for t in old_vnodes..new_vnodes {
+            let dt = dist_star[(t - old_vnodes) as usize];
+            tail_dist.push(dt);
+            let mut row = Vec::new();
+            if dt != UNREACHABLE as u64 && dt != 0 {
+                for &(v, a) in vrf.graph.out_arcs(t) {
+                    let lv = label(v, dist_old, &dist_star);
+                    if lv != UNREACHABLE as u64 && lv + vrf.graph.arc(a).2 as u64 == dt {
+                        row.push((v, a));
+                    }
+                }
+            }
+            tail_rows.push(row);
+        }
+        let dag = baseline.dags[d as usize].remap_extend(
+            |a| {
+                let base = edge_new_base[(a / ape) as usize]
+                    .expect("unaffected DAG references a removed arc");
+                base + a % ape
+            },
+            &tail_dist,
+            &tail_rows,
+        );
+        translated.push((d, dag));
+    }
+
+    // Every appended switch is a brand-new destination: cold-build it.
+    rebuild.extend(old_routers..new_routers);
+
+    let mut rebuilt = build_dags(&vrf, &rebuild).into_iter();
+    let mut rebuild_iter = rebuild.iter().copied().peekable();
+    let mut translated_iter = translated.into_iter().peekable();
+    let dags: Vec<CsrSpDag> = (0..new_routers)
+        .map(|d| {
+            if rebuild_iter.peek() == Some(&d) {
+                rebuild_iter.next();
+                rebuilt.next().expect("one rebuilt DAG per rebuilt destination")
+            } else {
+                let (td, dag) = translated_iter.next().expect("translated DAG");
+                debug_assert_eq!(td, d, "translated DAGs out of order");
+                dag
+            }
+        })
+        .collect();
+    let result = ForwardingState { scheme, vrf, dags };
+    #[cfg(debug_assertions)]
+    {
+        let full = ForwardingState::build(grown, scheme);
+        debug_assert_eq!(result, full, "incremental expansion diverged from full build");
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fib::RoutingScheme;
+    use spineless_topo::dring::DRing;
+    use spineless_topo::jellyfish::Jellyfish;
+    use spineless_topo::Topology;
+
+    fn schemes() -> [RoutingScheme; 2] {
+        [RoutingScheme::Ecmp, RoutingScheme::ShortestUnion(2)]
+    }
+
+    #[test]
+    fn dring_supernode_growth_matches_full_build() {
+        for scheme in schemes() {
+            let small = DRing::uniform(5, 3, 32).build();
+            let grown: Topology = DRing::uniform(5, 3, 32).add_supernode(3).build();
+            let map = edge_map_by_endpoints(&small.graph, &grown.graph)
+                .expect("DRing growth is monotone");
+            // Supernode appends both add trunks and retire the old ring's
+            // wrap-around ±2 trunks, so some cables really are removed.
+            assert!(map.iter().any(|m| m.is_none()));
+            let baseline = ForwardingState::build(&small.graph, scheme);
+            let inc = incremental_expand(&baseline, &grown.graph, &map);
+            let full = ForwardingState::build(&grown.graph, scheme);
+            assert_eq!(inc, full, "{}", scheme.label());
+        }
+    }
+
+    #[test]
+    fn jellyfish_growth_matches_full_build() {
+        for scheme in schemes() {
+            let mut jf = Jellyfish::new(12, 6, 4, 12, 7).unwrap();
+            let mut baseline =
+                ForwardingState::build(&jf.topology().unwrap().graph, scheme);
+            // Chain several growth steps, each riding the previous state.
+            for step in 0..3 {
+                let map = jf.expand(2).unwrap();
+                let grown = jf.topology().unwrap();
+                let inc = incremental_expand(&baseline, &grown.graph, &map);
+                let full = ForwardingState::build(&grown.graph, scheme);
+                assert_eq!(inc, full, "{} step {step}", scheme.label());
+                baseline = inc;
+            }
+        }
+    }
+
+    #[test]
+    fn identity_growth_is_the_baseline() {
+        let t = DRing::uniform(5, 2, 24).build();
+        let baseline = ForwardingState::build(&t.graph, RoutingScheme::ShortestUnion(2));
+        let map = edge_map_by_endpoints(&t.graph, &t.graph).unwrap();
+        assert!(map.iter().enumerate().all(|(i, m)| *m == Some(i as EdgeId)));
+        let inc = incremental_expand(&baseline, &t.graph, &map);
+        assert_eq!(inc, baseline);
+    }
+
+    #[test]
+    fn some_destinations_translate_on_jellyfish_growth() {
+        // The perf story requires the common case to skip the rebuild; on
+        // a modest expander step, at least one destination must translate.
+        let mut jf = Jellyfish::new(16, 4, 2, 8, 21).unwrap();
+        let before = jf.topology().unwrap();
+        let baseline = ForwardingState::build(&before.graph, RoutingScheme::Ecmp);
+        let map = jf.expand(1).unwrap();
+        let grown = jf.topology().unwrap();
+        let inc = incremental_expand(&baseline, &grown.graph, &map);
+        let n_old = before.num_switches();
+        let translated = (0..n_old)
+            .filter(|&d| {
+                // A translated DAG shares its old distance prefix.
+                inc.dags[d as usize].dist[..baseline.dags[d as usize].dist.len()]
+                    == baseline.dags[d as usize].dist[..]
+            })
+            .count();
+        assert!(translated > 0, "no destination translated");
+    }
+
+    #[test]
+    fn endpoint_map_pairs_parallel_cables_in_order() {
+        use spineless_graph::GraphBuilder;
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        let old = b.build();
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        let new = b.build();
+        let map = edge_map_by_endpoints(&old, &new).unwrap();
+        assert_eq!(map, vec![Some(0), Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn endpoint_map_rejects_reordered_survivors() {
+        use spineless_graph::GraphBuilder;
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        let old = b.build();
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(1, 2);
+        b.add_edge(0, 1);
+        let new = b.build();
+        assert_eq!(edge_map_by_endpoints(&old, &new), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer switches")]
+    fn rejects_shrinking_graphs() {
+        let big = DRing::uniform(6, 3, 32).build();
+        let small = DRing::uniform(5, 3, 32).build();
+        let baseline = ForwardingState::build(&big.graph, RoutingScheme::Ecmp);
+        let map = vec![None; big.graph.num_edges() as usize];
+        let _ = incremental_expand(&baseline, &small.graph, &map);
+    }
+}

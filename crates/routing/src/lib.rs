@@ -31,6 +31,11 @@
 //! * [`failures`] — failure injection and reconvergence analysis (§7
 //!   future work): degraded topologies, route stretch, diversity loss, and
 //!   BGP reconvergence rounds;
+//! * [`expand`] — the link-*addition* dual of the failure-side incremental
+//!   rebuild: growing a network (Jellyfish cable replacement, DRing
+//!   supernode appends) recomputes only the destinations whose min-cost
+//!   DAGs can change, translating the rest — the design-search sweep's
+//!   per-cell shortcut;
 //! * [`configgen`] — the paper's "simple script" that emits per-router
 //!   BGP/VRF configurations (FRR dialect) realizing Shortest-Union(K) on
 //!   stock switches, generated from the same VRF graph the analysis uses;
@@ -54,6 +59,7 @@ pub mod adaptive;
 pub mod bgp;
 pub mod configgen;
 pub mod diversity;
+pub mod expand;
 pub mod failures;
 pub mod fib;
 pub mod vlb;

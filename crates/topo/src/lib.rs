@@ -21,6 +21,13 @@
 //! * [`dragonfly`] / [`slimfly`] — the canonical Dragonfly and the
 //!   McKay–Miller–Širáň Slim Fly, §7's "other static networks" comparison
 //!   points (extensions beyond the paper's evaluated set).
+//! * [`debruijn`] — structured flat De Bruijn graphs (arXiv:1610.03245):
+//!   deterministic wiring, diameter ≤ ⌈log_k N⌉ at degree ≤ 2k.
+//! * [`jellyfish`] — incrementally expandable Jellyfish (arXiv:1110.1687):
+//!   the RRG plus the grow-by-replacing-cables procedure, with the
+//!   survivor bookkeeping the incremental routing recompute consumes.
+//! * [`fattree`] — automated two-layer fat-tree design (arXiv:1301.6179):
+//!   the best spineful baseline an equipment envelope cell can buy.
 //! * [`metrics`] — Network-Server Ratio (NSR), Uplink-to-Downlink Factor
 //!   (UDF), and structural summaries (diameter, mean path length, spectral
 //!   gap, bisection) used throughout the evaluation.
@@ -46,9 +53,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod debruijn;
 pub mod dragonfly;
 pub mod dring;
+pub mod fattree;
 pub mod flat;
+pub mod jellyfish;
 pub mod leafspine;
 pub mod metrics;
 pub mod partition;

@@ -89,14 +89,17 @@ pub struct TopoSummary {
 /// Computes the full summary. `rng` seeds the randomized estimators
 /// (spectral gap start vector, bisection restarts).
 pub fn summarize<R: Rng>(t: &Topology, rng: &mut R) -> Result<TopoSummary, TopoError> {
+    // One BFS sweep over a reused distance row yields both path metrics
+    // (the flat DistanceMatrix scratch path) instead of two full sweeps.
+    let path = bfs::path_stats(&t.graph);
     Ok(TopoSummary {
         name: t.name.clone(),
         switches: t.num_switches(),
         racks: t.num_racks(),
         servers: t.num_servers(),
         links: t.num_links(),
-        diameter: bfs::diameter(&t.graph),
-        mean_path: bfs::mean_distance(&t.graph),
+        diameter: path.map(|(d, _)| d),
+        mean_path: path.map(|(_, m)| m),
         spectral_gap: spectral::spectral_gap(&t.graph, 300, rng),
         bisection_per_node: cuts::bisection_per_node(&t.graph, 6, rng),
         nsr: nsr(t)?,

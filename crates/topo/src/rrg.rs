@@ -203,10 +203,15 @@ fn random_wiring(
     let total: u64 = target.iter().map(|&t| t as u64).sum();
     let want_edges = (total / 2) as usize;
 
-    // Phase 1: random greedy matching of free ports.
+    // Phase 1: random greedy matching of free ports. The open list is
+    // maintained incrementally (sorted, nodes dropped as their ports
+    // exhaust) instead of being rebuilt per edge — that rebuild made
+    // wiring O(n·E) and dominated flatten()/Jellyfish construction at
+    // design-search scales. The RNG draws index the same sorted list the
+    // per-iteration filter produced, so wirings are unchanged per seed.
+    let mut open: Vec<NodeId> = (0..n as u32).filter(|&v| free[v as usize] > 0).collect();
     let mut stalls = 0u32;
     while edges.len() < want_edges {
-        let open: Vec<NodeId> = (0..n as u32).filter(|&v| free[v as usize] > 0).collect();
         if open.len() < 2 {
             break;
         }
@@ -223,11 +228,20 @@ fn random_wiring(
                     )));
                 }
                 stalls = 0;
+                // A swap touches nodes of its own choosing; re-derive the
+                // (rarely needed) open set rather than track them.
+                open = (0..n as u32).filter(|&v| free[v as usize] > 0).collect();
             }
             continue;
         }
         stalls = 0;
         connect(u, v, &mut free, &mut adj, &mut edges);
+        for w in [v, u] {
+            if free[w as usize] == 0 {
+                let i = open.binary_search(&w).expect("open node tracked");
+                open.remove(i);
+            }
+        }
     }
     // At most one stub may remain unmatched (odd totals, Jellyfish-style);
     // anything more means the process wedged on a single open node.

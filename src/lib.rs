@@ -49,6 +49,9 @@ pub use spineless_workload as workload;
 /// The most commonly used types, one `use` away.
 pub mod prelude {
     pub use spineless_core::fct::{paper_combos, FctConfig, TmKind, TopoKind};
+    pub use spineless_core::search::{
+        run_search, run_search_reference, DesignCell, Family, SearchResult, SearchSpec,
+    };
     pub use spineless_core::topos::{EvalTopos, Scale};
     pub use spineless_fluid::solve as fluid_solve;
     pub use spineless_routing::{ForwardingState, RoutingScheme, VrfGraph};
@@ -56,7 +59,10 @@ pub mod prelude {
         Datapath, FailureEvent, FailureSchedule, HybridConfig, HybridMode, HybridReport,
         HybridSimulation, Scheduler, SimConfig, SimReport, Simulation,
     };
+    pub use spineless_topo::debruijn::DeBruijn;
     pub use spineless_topo::dring::DRing;
+    pub use spineless_topo::fattree::FatTree;
+    pub use spineless_topo::jellyfish::Jellyfish;
     pub use spineless_topo::leafspine::LeafSpine;
     pub use spineless_topo::rrg::Rrg;
     pub use spineless_topo::xpander::Xpander;

@@ -1,10 +1,12 @@
 //! Property-based tests for the fast routing-state pipeline: the parallel
-//! bucket-queue/CSR build against the serial heap-Dijkstra reference, and
-//! incremental failure recompute against the full rebuild, on random
-//! DRing / RRG / leaf-spine instances.
+//! bucket-queue/CSR build against the serial heap-Dijkstra reference,
+//! incremental failure recompute against the full rebuild, and incremental
+//! *expansion* recompute against a cold build of the grown network, on
+//! random DRing / RRG / leaf-spine / Jellyfish instances.
 
 use proptest::prelude::*;
 use spineless::prelude::*;
+use spineless::routing::expand::{edge_map_by_endpoints, incremental_expand};
 use spineless::routing::failures::{incremental_rebuild, FailurePlan};
 
 /// Strategy: one of the paper's three topology families at a small random
@@ -58,6 +60,59 @@ proptest! {
         let baseline = ForwardingState::build(&topo.graph, scheme);
         let (degraded, inc) = incremental_rebuild(&baseline, &topo, &plan).unwrap();
         let full = ForwardingState::build(&degraded.graph, scheme);
+        prop_assert_eq!(inc, full);
+    }
+
+    /// Incremental expansion recompute is bit-identical to a cold build of
+    /// the grown network, for random Jellyfish growth steps (random cables
+    /// replaced by the new switches' cables) chained across several sizes.
+    #[test]
+    fn incremental_expand_matches_full_build(
+        switches in 8u32..16,
+        degree_half in 1u32..4,
+        seed in any::<u64>(),
+        k in 1u32..=3,
+        steps in 1usize..4,
+    ) {
+        let degree = 2 * degree_half;
+        prop_assume!(switches > degree);
+        let scheme = if k == 1 { RoutingScheme::Ecmp } else { RoutingScheme::ShortestUnion(k) };
+        let Ok(mut jf) = Jellyfish::new(switches, degree, 2, degree + 2, seed) else {
+            // Rare RRG construction failure at awkward (n, d): skip.
+            return Ok(());
+        };
+        let mut state = ForwardingState::build(&jf.topology().unwrap().graph, scheme);
+        for _ in 0..steps {
+            let map = jf.expand(1 + (seed % 2) as u32).unwrap();
+            let grown = jf.topology().unwrap();
+            let inc = incremental_expand(&state, &grown.graph, &map);
+            let full = ForwardingState::build(&grown.graph, scheme);
+            prop_assert_eq!(&inc, &full);
+            state = inc;
+        }
+    }
+
+    /// The endpoint matcher recovers an exact survivor map for DRing
+    /// supernode growth, and expansion through it matches the cold build.
+    #[test]
+    fn dring_growth_expand_matches_full_build(
+        supernodes in 5u32..8,
+        tors in 1u32..3,
+        added in 1u32..3,
+        k in 2u32..=3,
+    ) {
+        let scheme = RoutingScheme::ShortestUnion(k);
+        let small = DRing::uniform(supernodes, tors, 24).build();
+        let mut grown_builder = DRing::uniform(supernodes, tors, 24);
+        for _ in 0..added {
+            grown_builder = grown_builder.add_supernode(tors);
+        }
+        let grown = grown_builder.build();
+        let map = edge_map_by_endpoints(&small.graph, &grown.graph)
+            .expect("supernode appends keep survivor order");
+        let baseline = ForwardingState::build(&small.graph, scheme);
+        let inc = incremental_expand(&baseline, &grown.graph, &map);
+        let full = ForwardingState::build(&grown.graph, scheme);
         prop_assert_eq!(inc, full);
     }
 }
