@@ -434,3 +434,22 @@ mod tests {
         let _ = incremental_expand(&baseline, &small.graph, &map);
     }
 }
+
+#[cfg(test)]
+mod k3_probe {
+    use super::*;
+    use crate::fib::RoutingScheme;
+    use spineless_topo::jellyfish::Jellyfish;
+
+    #[test]
+    fn jellyfish_growth_matches_full_build_su3() {
+        let scheme = RoutingScheme::ShortestUnion(3);
+        let mut jf = Jellyfish::new(12, 6, 4, 12, 7).unwrap();
+        let baseline = ForwardingState::build(&jf.topology().unwrap().graph, scheme);
+        let map = jf.expand(2).unwrap();
+        let grown = jf.topology().unwrap();
+        let inc = incremental_expand(&baseline, &grown.graph, &map);
+        let full = ForwardingState::build(&grown.graph, scheme);
+        assert_eq!(inc, full);
+    }
+}
