@@ -606,6 +606,99 @@ fn run_design_search_tier(quick: bool, seed: u64) -> String {
     )
 }
 
+/// The lossless (PFC) tier: a synchronized incast over the small DRing
+/// with pause-frame flow control and the go-back-N transport — the
+/// workload class where pause/resume control events thread through the
+/// `(time, seq)` stream between every data packet. Measures the fast
+/// datapath (FIB hot-cache + RTO timer wheel; terminal-TxDone elision is
+/// off under PFC because a terminal TxDone discharges ingress accounting)
+/// against the reference path, asserts them byte-identical including every
+/// pause counter, and asserts the lossless invariant: zero tail drops.
+fn run_lossless_tier(quick: bool, seed: u64) -> String {
+    use spineless_sim::types::Transport;
+    use spineless_sim::{estimate_events_detailed, PfcConfig};
+    let topo = DRing::uniform(6, 2, 24).build();
+    let scheme = RoutingScheme::ShortestUnion(2);
+    let fs = Arc::new(ForwardingState::build(&topo.graph, scheme));
+    let bytes: u64 = if quick { 150_000 } else { 600_000 };
+    let cfg = SimConfig {
+        transport: Transport::GoBackN,
+        pfc: Some(PfcConfig { xoff_bytes: 20_000, xon_bytes: 8_000 }),
+        // Deep fixed window: the fabric's pauses, not the window, pace
+        // the senders — the regime that maximizes control-event density.
+        initial_cwnd: 32,
+        max_time_ns: 10_000_000_000,
+        ..Default::default()
+    };
+    let racks = topo.racks();
+    let victim = topo.servers_on(racks[0]).next().expect("victim rack has servers");
+    let mut flow_bytes: Vec<u64> = Vec::new();
+    let run = |datapath| {
+        let cfg = SimConfig { datapath, ..cfg };
+        let mut sim = Simulation::new(&topo, fs.clone(), cfg, seed);
+        for &r in &racks[1..] {
+            for src in topo.servers_on(r).take(2) {
+                sim.add_flow(src, victim, bytes, 0).expect("incast endpoints valid");
+            }
+        }
+        let t0 = Instant::now();
+        let r = sim.run();
+        (t0.elapsed().as_secs_f64(), r, sim.pkt_hops())
+    };
+    let (fast_s, fast_r, fast_hops) = run(Datapath::Fast);
+    let (ref_s, ref_r, ref_hops) = run(Datapath::Reference);
+    for &r in &racks[1..] {
+        flow_bytes.extend(topo.servers_on(r).take(2).map(|_| bytes));
+    }
+    assert_eq!(fast_r.fcts(), ref_r.fcts(), "lossless: datapaths diverged: FCTs");
+    assert_eq!(
+        (fast_r.pause_frames, fast_r.resume_frames, fast_r.links_ever_paused),
+        (ref_r.pause_frames, ref_r.resume_frames, ref_r.links_ever_paused),
+        "lossless: datapaths diverged: pause counters"
+    );
+    assert_eq!(fast_hops, ref_hops, "lossless: datapaths diverged: packet-hops");
+    assert_eq!(fast_r.congestion_drops, 0, "lossless: PFC tail-dropped a data packet");
+    assert_eq!(fast_r.unfinished(), 0, "lossless: incast must complete");
+    // The control-plane-aware estimate the adaptive selector uses under
+    // PFC (satellite of the same PR: plain estimate_events ignores
+    // pause/resume events and mis-selects at lossless incast scale).
+    let est = estimate_events_detailed(flow_bytes.iter().copied(), cfg.mss_bytes, 0, true);
+    let speedup = ref_s / fast_s;
+    eprintln!(
+        "lossless: {} incast flows x {bytes} B — {} pauses over {} links, 0 tail drops; \
+         fast {fast_s:.3}s vs reference {ref_s:.3}s ({speedup:.2}x)",
+        flow_bytes.len(),
+        fast_r.pause_frames,
+        fast_r.links_ever_paused
+    );
+    format!(
+        r#",
+  "lossless": {{
+    "topology": "dring(6,2) su2, pfc xoff 20 kB / xon 8 kB",
+    "workload": "synchronized incast, 2 senders per remote rack x {bytes} B, go-back-N cwnd 32",
+    "estimated_events_detailed": {est},
+    "pause_frames": {pauses},
+    "resume_frames": {resumes},
+    "links_ever_paused": {lep},
+    "max_ingress_backlog": {backlog},
+    "congestion_drops": 0,
+    "fast": {{ "wall_s": {fast_s:.4}, "events": {fe}, "events_per_sec": {feps:.0} }},
+    "reference": {{ "wall_s": {ref_s:.4}, "events": {re}, "events_per_sec": {reps:.0} }},
+    "speedup": {speedup:.3},
+    "results_identical": true,
+    "note": "terminal-TxDone elision is disabled under PFC (a terminal TxDone discharges ingress accounting), so fast-vs-reference here measures the FIB hot-cache and timer wheel only"
+  }}"#,
+        pauses = fast_r.pause_frames,
+        resumes = fast_r.resume_frames,
+        lep = fast_r.links_ever_paused,
+        backlog = fast_r.max_ingress_backlog,
+        fe = fast_r.events,
+        feps = fast_r.events as f64 / fast_s,
+        re = ref_r.events,
+        reps = ref_r.events as f64 / ref_s,
+    )
+}
+
 fn main() {
     let args = parse_args_quick();
     let (scale_req, seed, quick) = (args.scale, args.seed, args.quick);
@@ -955,11 +1048,16 @@ fn main() {
     // determinism asserts are the frontier's contract). ---
     tier_sections.push_str(&run_design_search_tier(quick, seed));
 
+    // --- Lossless (PFC) tier: pause-frame incast under go-back-N, fast
+    // vs reference datapath, always on — the one regime where control
+    // events outnumber-per-byte everything else in the stream. ---
+    tier_sections.push_str(&run_lossless_tier(quick, seed));
+
     // Hand-rolled JSON: the workspace deliberately carries no serde_json
     // dependency, and the document is flat enough that format! suffices.
     let json = format!(
         r#"{{
-  "schema": "bench_snapshot/v7",
+  "schema": "bench_snapshot/v8",
   "seed": {seed},
   "scale": "{scale_label}",
   "quick": {quick},

@@ -40,6 +40,7 @@ fn main() {
                     match transport {
                         Transport::NewReno => "newreno",
                         Transport::Dctcp => "dctcp",
+                        Transport::GoBackN => "gbn",
                     },
                     cell.median_ms,
                     cell.p99_ms,

@@ -121,6 +121,11 @@ mod tests {
             end_ns: 9,
             events: 42,
             used_fib_cache: true,
+            congestion_drops: 0,
+            pause_frames: 0,
+            resume_frames: 0,
+            links_ever_paused: 0,
+            max_ingress_backlog: 0,
         };
         let s = FctSummary::from_report(&r);
         assert_eq!(s.median_ms, 1.0);
@@ -139,6 +144,11 @@ mod tests {
             end_ns: 0,
             events: 0,
             used_fib_cache: false,
+            congestion_drops: 0,
+            pause_frames: 0,
+            resume_frames: 0,
+            links_ever_paused: 0,
+            max_ingress_backlog: 0,
         };
         let s = FctSummary::from_report(&r);
         assert!(s.median_ms.is_nan() && s.p99_ms.is_nan() && s.mean_ms.is_nan());

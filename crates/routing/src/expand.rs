@@ -433,13 +433,6 @@ mod tests {
         let map = vec![None; big.graph.num_edges() as usize];
         let _ = incremental_expand(&baseline, &small.graph, &map);
     }
-}
-
-#[cfg(test)]
-mod k3_probe {
-    use super::*;
-    use crate::fib::RoutingScheme;
-    use spineless_topo::jellyfish::Jellyfish;
 
     #[test]
     fn jellyfish_growth_matches_full_build_su3() {

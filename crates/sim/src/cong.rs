@@ -1,0 +1,290 @@
+//! Congestion-control algorithms behind the `CongAlg` seam.
+//!
+//! [`TcpSender`](crate::tcp::TcpSender) owns the *loss-detection machine*
+//! (dup-ack counting, recovery bookkeeping, RTO state, go-back-N rollback);
+//! everything that decides *how big the window is* lives behind [`CongAlg`].
+//! NewReno and DCTCP are implementations of the trait rather than enum arms
+//! in the sender, so adding an algorithm touches exactly one file.
+//!
+//! The trait's shape is adapted from akshayknarayan/simulator's
+//! `congcontrol.rs` `CongAlg` (`cwnd()` / `on_packet()` / `reduction()`),
+//! widened to the event-split hooks this sender needs so the refactor stays
+//! bit-identical to the pre-seam arithmetic: the float operations below are
+//! byte-for-byte the expressions `TcpSender` used to inline, in the same
+//! order, which the `fast_datapath_matches_reference_*` pins depend on.
+//!
+//! Units: `cwnd` is fractional **segments** (the htsim convention the
+//! sender always used), not packets or bytes.
+
+/// Window arithmetic for one flow. All hooks are invoked by
+/// [`TcpSender`](crate::tcp::TcpSender) at the exact points the pre-seam
+/// code mutated `cwnd`/`ssthresh`; implementations that don't care about a
+/// hook (e.g. [`ConstCwnd`]) leave it a no-op.
+pub trait CongAlg: std::fmt::Debug + Send {
+    /// Clones into a box (`Box<dyn CongAlg>` implements `Clone` via this).
+    fn clone_box(&self) -> Box<dyn CongAlg>;
+
+    /// Congestion window, in fractional segments.
+    fn cwnd(&self) -> f64;
+
+    /// A cumulative ACK advanced by `newly` bytes to `ack`. Runs *before*
+    /// the sender updates `cum_acked`/`next_seq`, so `next_seq` is the
+    /// pre-update send edge (DCTCP's observation window closes on it) and
+    /// `in_recovery` is the pre-ACK recovery state. NewReno ignores this;
+    /// DCTCP does its mark accounting here.
+    fn on_ack_data(&mut self, ack: u64, newly: u64, ece: bool, in_recovery: bool, next_seq: u64);
+
+    /// Window growth for `newly` freshly-acked bytes outside recovery:
+    /// slow start below ssthresh, AIMD above.
+    fn on_newly_acked(&mut self, newly: u64, mss: u32);
+
+    /// Three duplicate ACKs: halve into fast-recovery (RFC 6582 entry).
+    fn enter_recovery(&mut self);
+
+    /// A further duplicate ACK during recovery inflates the window by one
+    /// segment so new data keeps flowing.
+    fn inflate(&mut self);
+
+    /// A full ACK ends recovery: deflate to ssthresh.
+    fn exit_recovery(&mut self);
+
+    /// An RTO fired: collapse to one segment (ssthresh halves first).
+    fn on_timeout(&mut self);
+
+    /// DCTCP's marked-fraction EWMA; 0 for algorithms without one.
+    fn alpha(&self) -> f64 {
+        0.0
+    }
+}
+
+impl Clone for Box<dyn CongAlg> {
+    fn clone(&self) -> Box<dyn CongAlg> {
+        self.clone_box()
+    }
+}
+
+/// TCP NewReno windowing: slow start, AIMD, multiplicative decrease.
+#[derive(Debug, Clone)]
+pub struct NewReno {
+    cwnd: f64,
+    ssthresh: f64,
+}
+
+impl NewReno {
+    /// Initial window of `initial_cwnd` segments, unbounded ssthresh.
+    pub fn new(initial_cwnd: u32) -> NewReno {
+        NewReno { cwnd: initial_cwnd.max(1) as f64, ssthresh: f64::INFINITY }
+    }
+}
+
+impl CongAlg for NewReno {
+    fn clone_box(&self) -> Box<dyn CongAlg> {
+        Box::new(self.clone())
+    }
+
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn on_ack_data(&mut self, _ack: u64, _newly: u64, _ece: bool, _in_rec: bool, _next: u64) {}
+
+    fn on_newly_acked(&mut self, newly: u64, mss: u32) {
+        let segs = newly as f64 / mss as f64;
+        if self.cwnd < self.ssthresh {
+            self.cwnd += segs; // slow start
+        } else {
+            self.cwnd += segs / self.cwnd; // congestion avoidance
+        }
+    }
+
+    fn enter_recovery(&mut self) {
+        self.ssthresh = (self.cwnd / 2.0).max(2.0);
+        self.cwnd = self.ssthresh + 3.0;
+    }
+
+    fn inflate(&mut self) {
+        self.cwnd += 1.0;
+    }
+
+    fn exit_recovery(&mut self) {
+        self.cwnd = self.ssthresh;
+    }
+
+    fn on_timeout(&mut self) {
+        self.ssthresh = (self.cwnd / 2.0).max(2.0);
+        self.cwnd = 1.0;
+    }
+}
+
+/// DCTCP: NewReno's machine plus mark-fraction accounting — the EWMA
+/// `alpha` (g = 1/16) folds in once per observation window, and a marked
+/// window cuts cwnd by `alpha / 2` (Alizadeh et al., SIGCOMM '10).
+#[derive(Debug, Clone)]
+pub struct Dctcp {
+    cwnd: f64,
+    ssthresh: f64,
+    /// EWMA of the marked fraction.
+    alpha: f64,
+    /// Bytes acked / marked in the current observation window.
+    win_bytes: u64,
+    win_marked: u64,
+    /// The window closes when the cumulative ack passes this.
+    win_end: u64,
+}
+
+impl Dctcp {
+    /// Initial window of `initial_cwnd` segments, alpha 0.
+    pub fn new(initial_cwnd: u32) -> Dctcp {
+        Dctcp {
+            cwnd: initial_cwnd.max(1) as f64,
+            ssthresh: f64::INFINITY,
+            alpha: 0.0,
+            win_bytes: 0,
+            win_marked: 0,
+            win_end: 0,
+        }
+    }
+}
+
+impl CongAlg for Dctcp {
+    fn clone_box(&self) -> Box<dyn CongAlg> {
+        Box::new(self.clone())
+    }
+
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn on_ack_data(&mut self, ack: u64, newly: u64, ece: bool, in_recovery: bool, next_seq: u64) {
+        // Canonical DCTCP: the first CE mark ends slow start, so a marked
+        // stretch grows additively while the window-close cut (alpha/2)
+        // pulls cwnd down.
+        if ece && self.cwnd < self.ssthresh {
+            self.ssthresh = self.cwnd;
+        }
+        self.win_bytes += newly;
+        if ece {
+            self.win_marked += newly;
+        }
+        if ack >= self.win_end {
+            const G: f64 = 1.0 / 16.0;
+            let frac = if self.win_bytes > 0 {
+                self.win_marked as f64 / self.win_bytes as f64
+            } else {
+                0.0
+            };
+            self.alpha = (1.0 - G) * self.alpha + G * frac;
+            if self.win_marked > 0 && !in_recovery {
+                let reduced = self.cwnd * (1.0 - self.alpha / 2.0);
+                self.cwnd = reduced.max(2.0);
+                // Marks also end slow start.
+                self.ssthresh = self.ssthresh.min(self.cwnd);
+            }
+            self.win_bytes = 0;
+            self.win_marked = 0;
+            self.win_end = next_seq;
+        }
+    }
+
+    fn on_newly_acked(&mut self, newly: u64, mss: u32) {
+        let segs = newly as f64 / mss as f64;
+        if self.cwnd < self.ssthresh {
+            self.cwnd += segs;
+        } else {
+            self.cwnd += segs / self.cwnd;
+        }
+    }
+
+    fn enter_recovery(&mut self) {
+        self.ssthresh = (self.cwnd / 2.0).max(2.0);
+        self.cwnd = self.ssthresh + 3.0;
+    }
+
+    fn inflate(&mut self) {
+        self.cwnd += 1.0;
+    }
+
+    fn exit_recovery(&mut self) {
+        self.cwnd = self.ssthresh;
+    }
+
+    fn on_timeout(&mut self) {
+        self.ssthresh = (self.cwnd / 2.0).max(2.0);
+        self.cwnd = 1.0;
+    }
+
+    fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+/// A fixed window that never reacts — the RDMA-style transport for the
+/// lossless (PFC) fabric, where the switches backpressure the sources and
+/// the window exists only to bound in-flight state (go-back-N resends the
+/// whole window from the NACKed sequence, so shrinking it on loss would
+/// double-penalize).
+#[derive(Debug, Clone)]
+pub struct ConstCwnd {
+    cwnd: f64,
+}
+
+impl ConstCwnd {
+    /// Fixed window of `cwnd` segments.
+    pub fn new(cwnd: u32) -> ConstCwnd {
+        ConstCwnd { cwnd: cwnd.max(1) as f64 }
+    }
+}
+
+impl CongAlg for ConstCwnd {
+    fn clone_box(&self) -> Box<dyn CongAlg> {
+        Box::new(self.clone())
+    }
+
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn on_ack_data(&mut self, _ack: u64, _newly: u64, _ece: bool, _in_rec: bool, _next: u64) {}
+    fn on_newly_acked(&mut self, _newly: u64, _mss: u32) {}
+    fn enter_recovery(&mut self) {}
+    fn inflate(&mut self) {}
+    fn exit_recovery(&mut self) {}
+    fn on_timeout(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn newreno_slow_start_then_ca() {
+        let mut a = NewReno::new(2);
+        a.on_newly_acked(1000, 1000);
+        assert_eq!(a.cwnd(), 3.0);
+        a.enter_recovery();
+        a.exit_recovery();
+        let base = a.cwnd();
+        a.on_newly_acked(1000, 1000);
+        assert!(a.cwnd() > base && a.cwnd() < base + 1.0, "{}", a.cwnd());
+    }
+
+    #[test]
+    fn const_cwnd_ignores_everything() {
+        let mut c = ConstCwnd::new(10);
+        c.on_newly_acked(1_000_000, 1000);
+        c.enter_recovery();
+        c.inflate();
+        c.exit_recovery();
+        c.on_timeout();
+        c.on_ack_data(5, 5, true, false, 10);
+        assert_eq!(c.cwnd(), 10.0);
+        assert_eq!(c.alpha(), 0.0);
+    }
+
+    #[test]
+    fn boxed_alg_clones() {
+        let b: Box<dyn CongAlg> = Box::new(Dctcp::new(4));
+        let c = b.clone();
+        assert_eq!(c.cwnd(), 4.0);
+    }
+}

@@ -10,9 +10,12 @@
 use crate::equeue::{EventQueue, TimerWheel};
 use crate::failure::{FailureEvent, FailureSchedule};
 use crate::link::{LinkQueue, Offer};
-use crate::packet::Packet;
-use crate::tcp::{TcpOutput, TcpReceiver, TcpSender};
-use crate::types::{Datapath, DirLinkId, FlowId, FlowRecord, Ns, Scheduler, SimConfig, SimReport};
+use crate::packet::{Packet, INGRESS_NONE};
+use crate::tcp::{GbnSignal, TcpOutput, TcpReceiver, TcpSender};
+use crate::types::{
+    Datapath, DirLinkId, FlowId, FlowRecord, Ns, PfcConfig, Scheduler, SimConfig, SimReport,
+    Transport,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use spineless_graph::{EdgeId, NodeId};
@@ -24,6 +27,11 @@ use std::sync::Arc;
 /// XOR'd into the ECMP hash input of ACKs so the reverse stream rolls its
 /// own path, independent of the data stream's.
 pub(crate) const ACK_SALT: u64 = 0xA5A5_5A5A_DEAD_BEEF;
+
+/// Wire size of a PFC pause/resume frame (the 802.3x/802.1Qbb minimum
+/// Ethernet frame). Pause frames are not queued packets — they preempt the
+/// reverse wire — so this only sets their serialization latency.
+pub(crate) const PAUSE_FRAME_BYTES: u32 = 64;
 
 /// Everything that can happen.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +50,10 @@ enum Ev {
     /// The control plane finishes reconverging on the fabric state as of
     /// epoch `gen`; superseded generations are no-ops.
     Reconverge(u32),
+    /// PFC: a pause (`true`) or resume (`false`) frame reaches the
+    /// transmitter of directed link `.0`, after serializing on — and
+    /// propagating over — that link's reverse direction.
+    Pfc(DirLinkId, bool),
 }
 
 /// Error from flow admission.
@@ -235,6 +247,35 @@ pub struct Simulation<F: Forwarding = ForwardingState> {
     /// pending repair or reconvergence could still revive it.
     ctrl_pending: u32,
 
+    // ---- lossless switching (cfg.pfc) ----
+    /// PFC thresholds; `None` = lossy drop-tail, and every PFC structure
+    /// below is inert (empty vectors, zero counters).
+    pfc: Option<PfcConfig>,
+    /// Whether terminal-`TxDone` elision is on: the fast datapath *minus*
+    /// PFC. Under PFC a terminal `TxDone` is not a no-op — it discharges
+    /// the in-flight packet from its ingress account and can trigger XON —
+    /// so every `TxDone` must be a real event. (The wheel, FIB hot-cache
+    /// and scratch reuse stay on: they key on `fast`.)
+    elide: bool,
+    /// Per directed link (as *ingress*): bytes currently buffered at the
+    /// downstream node that arrived over this link — the occupancy PFC
+    /// thresholds watch.
+    ingress_bytes: Vec<u64>,
+    /// Per ingress link: an XOFF is outstanding (pause sent, no resume
+    /// yet). Guarantees strict pause/resume alternation per link.
+    xoff_sent: Vec<bool>,
+    /// Per ingress link: was ever paused (pause-tree footprint).
+    ever_paused: Vec<bool>,
+    /// Per directed link: `(ingress, size)` of the packet currently being
+    /// serialized, so its ingress account can be discharged at `TxDone`
+    /// (queued packets carry their own `ingress`; the in-flight one has
+    /// left the queue).
+    inflight_meta: Vec<(DirLinkId, u32)>,
+    pause_frames: u64,
+    resume_frames: u64,
+    links_ever_paused: u64,
+    max_ingress_backlog: u64,
+
     // ---- hybrid co-simulation (set_link_residuals) ----
     /// Per directed link: fraction of the link rate left to the packet
     /// plane (the rest is held by fluid elephants). `None` = full rate on
@@ -294,6 +335,15 @@ impl<F: Forwarding> Simulation<F> {
         } else {
             None
         };
+        if let Some(p) = cfg.pfc {
+            assert!(
+                p.xon_bytes < p.xoff_bytes,
+                "PFC thresholds need hysteresis: xon {} >= xoff {}",
+                p.xon_bytes,
+                p.xoff_bytes
+            );
+        }
+        let pfc_links = if cfg.pfc.is_some() { total_links } else { 0 };
         Simulation {
             cfg,
             fs,
@@ -330,6 +380,16 @@ impl<F: Forwarding> Simulation<F> {
             cut_at: Vec::new(),
             no_route_drops: 0,
             ctrl_pending: 0,
+            pfc: cfg.pfc,
+            elide: fast && cfg.pfc.is_none(),
+            ingress_bytes: vec![0; pfc_links],
+            xoff_sent: vec![false; pfc_links],
+            ever_paused: vec![false; pfc_links],
+            inflight_meta: vec![(INGRESS_NONE, 0); pfc_links],
+            pause_frames: 0,
+            resume_frames: 0,
+            links_ever_paused: 0,
+            max_ingress_backlog: 0,
             rate_scale: None,
         }
     }
@@ -461,9 +521,15 @@ impl<F: Forwarding> Simulation<F> {
         if self.cfg.scheduler != Scheduler::Auto {
             return;
         }
-        let est = crate::shard::estimate_events(
+        // Control-plane events (faults/repairs + their reconvergences) and
+        // PFC pause/resume traffic inflate real event counts beyond the
+        // pure data-plane estimate; fold them in so Auto doesn't
+        // mis-select at lossless incast scale.
+        let est = crate::shard::estimate_events_detailed(
             self.specs.iter().map(|s| s.bytes),
             self.cfg.mss_bytes,
+            self.dynf.as_ref().map_or(0, |d| d.schedule.events.len() as u64),
+            self.cfg.pfc.is_some(),
         );
         // The threshold is currently `u64::MAX` (calibration found no
         // calendar win); the comparison stays a live tunable seam.
@@ -544,9 +610,23 @@ impl<F: Forwarding> Simulation<F> {
                 self.out_scratch = out;
             }
             Ev::TxDone(link) => {
+                if self.pfc.is_some() {
+                    // Store-and-forward: the packet that just finished
+                    // serializing leaves the node's buffer now — discharge
+                    // it from its ingress account (possibly emitting XON)
+                    // before the port decides what to do next.
+                    let (ing, sz) = std::mem::replace(
+                        &mut self.inflight_meta[link as usize],
+                        (INGRESS_NONE, 0),
+                    );
+                    self.pfc_discharge(ing, sz);
+                }
                 if let Some(pkt) = self.queues[link as usize].tx_done() {
+                    if self.pfc.is_some() {
+                        self.inflight_meta[link as usize] = (pkt.ingress, pkt.size);
+                    }
                     let tx = self.tx_ns_on(link, pkt.size);
-                    if self.fast && !self.queues[link as usize].has_queued() {
+                    if self.elide && !self.queues[link as usize].has_queued() {
                         // Nothing behind the wire: elide the next
                         // terminal TxDone, reserving its seq so the
                         // (time, seq) stream matches the reference.
@@ -558,12 +638,12 @@ impl<F: Forwarding> Simulation<F> {
                     }
                     self.push(self.now + tx + self.link_delay(link), Ev::Arrive(link, pkt));
                 } else {
-                    // Terminal TxDone: the reference datapath processes
-                    // these; the fast path only materializes one with
-                    // an empty queue behind it when a LinkDown flushed
-                    // the queue after materialization.
+                    // Terminal TxDone: the reference datapath (and any PFC
+                    // run) processes these; with elision on, one only
+                    // materializes with an empty queue behind it when a
+                    // LinkDown flushed the queue after materialization.
                     debug_assert!(
-                        !self.fast || self.dynf.is_some(),
+                        !self.elide || self.dynf.is_some(),
                         "fast path popped a terminal TxDone"
                     );
                 }
@@ -584,6 +664,19 @@ impl<F: Forwarding> Simulation<F> {
             Ev::Reconverge(gen) => {
                 self.ctrl_pending -= 1;
                 self.reconverge(gen);
+            }
+            Ev::Pfc(link, pause) => {
+                if pause {
+                    self.queues[link as usize].pause();
+                } else if let Some(pkt) = self.queues[link as usize].resume() {
+                    // The port was idle with packets held: the head starts
+                    // serializing now (it was charged when it queued; it
+                    // becomes the in-flight packet until its TxDone).
+                    self.inflight_meta[link as usize] = (pkt.ingress, pkt.size);
+                    let tx = self.tx_ns_on(link, pkt.size);
+                    self.push(self.now + tx, Ev::TxDone(link));
+                    self.push(self.now + tx + self.link_delay(link), Ev::Arrive(link, pkt));
+                }
             }
         }
     }
@@ -653,6 +746,11 @@ impl<F: Forwarding> Simulation<F> {
             end_ns: self.now,
             events: self.events,
             used_fib_cache: self.hot.is_some(),
+            congestion_drops: self.queues.iter().map(|q| q.tail_drops).sum::<u64>(),
+            pause_frames: self.pause_frames,
+            resume_frames: self.resume_frames,
+            links_ever_paused: self.links_ever_paused,
+            max_ingress_backlog: self.max_ingress_backlog,
         }
     }
 
@@ -875,6 +973,18 @@ impl<F: Forwarding> Simulation<F> {
         if was && !alive {
             self.link_alive[link as usize] = false;
             self.cut_at[link as usize] = self.now;
+            if self.pfc.is_some() {
+                // The flush discards packets that still hold per-ingress
+                // charges upstream; discharge them first or their
+                // ingresses stay paused forever (a phantom pause tree).
+                let held: Vec<(DirLinkId, u32)> = self.queues[link as usize]
+                    .iter_queued()
+                    .map(|p| (p.ingress, p.size))
+                    .collect();
+                for (ing, sz) in held {
+                    self.pfc_discharge(ing, sz);
+                }
+            }
             self.queues[link as usize].flush_dead();
         } else if !was && alive {
             self.link_alive[link as usize] = true;
@@ -951,6 +1061,63 @@ impl<F: Forwarding> Simulation<F> {
         }
     }
 
+    // ---- PFC internals ----
+
+    /// Pause-frame transit from the node downstream of `ingress` back to
+    /// its transmitter: serialize 64 B on the reverse wire + propagate.
+    /// Both directions of a cable share one delay, so `link_delay(ingress)`
+    /// is the reverse direction's delay too (uplinks pair with downlinks
+    /// at the same `server_link_delay_ns`). Pause and resume transit
+    /// identically and `xoff_sent` alternates them strictly, so they can
+    /// never overtake each other in the `(time, seq)` stream.
+    fn pfc_transit(&self, ingress: DirLinkId) -> Ns {
+        self.cfg.tx_ns(PAUSE_FRAME_BYTES) + self.link_delay(ingress)
+    }
+
+    /// A packet that arrived over `ingress` was accepted into a queue at
+    /// the downstream node: charge its account, emitting XOFF on the
+    /// upward crossing of the pause threshold.
+    fn pfc_charge(&mut self, ingress: DirLinkId, size: u32) {
+        if ingress == INGRESS_NONE {
+            return; // host-injected: the NIC is not a paused ingress
+        }
+        let p = self.pfc.expect("pfc_charge without PFC configured");
+        let b = &mut self.ingress_bytes[ingress as usize];
+        *b += size as u64;
+        if *b > self.max_ingress_backlog {
+            self.max_ingress_backlog = *b;
+        }
+        if *b >= p.xoff_bytes && !self.xoff_sent[ingress as usize] {
+            self.xoff_sent[ingress as usize] = true;
+            self.pause_frames += 1;
+            if !self.ever_paused[ingress as usize] {
+                self.ever_paused[ingress as usize] = true;
+                self.links_ever_paused += 1;
+            }
+            let at = self.now + self.pfc_transit(ingress);
+            self.push(at, Ev::Pfc(ingress, true));
+        }
+    }
+
+    /// A packet that arrived over `ingress` left the downstream node's
+    /// buffer (its egress serialization finished, or a dead-link flush
+    /// discarded it): discharge its account, emitting XON on the downward
+    /// crossing of the resume threshold.
+    fn pfc_discharge(&mut self, ingress: DirLinkId, size: u32) {
+        if ingress == INGRESS_NONE {
+            return;
+        }
+        let p = self.pfc.expect("pfc_discharge without PFC configured");
+        let b = &mut self.ingress_bytes[ingress as usize];
+        *b -= size as u64;
+        if *b <= p.xon_bytes && self.xoff_sent[ingress as usize] {
+            self.xoff_sent[ingress as usize] = false;
+            self.resume_frames += 1;
+            let at = self.now + self.pfc_transit(ingress);
+            self.push(at, Ev::Pfc(ingress, false));
+        }
+    }
+
     /// The active plane's next hop as `(next vnode, directed link id)`:
     /// the reconverged swap plane when one is installed, the baseline
     /// plane otherwise. `None` means no route exists at this vnode —
@@ -976,15 +1143,13 @@ impl<F: Forwarding> Simulation<F> {
             self.queues[link as usize].drops += 1;
             return;
         }
-        if self.fast {
+        if self.elide {
             // The port's busy flag must reflect the reference state before
             // any decision reads it.
             self.resolve_pending(link);
         }
         let ecn = match self.cfg.transport {
-            crate::types::Transport::Dctcp if !pkt.is_ack => {
-                Some(self.cfg.ecn_threshold_bytes.max(1))
-            }
+            Transport::Dctcp if !pkt.is_ack => Some(self.cfg.ecn_threshold_bytes.max(1)),
             _ => None,
         };
         // Marking must survive for packets that start transmitting
@@ -996,10 +1161,21 @@ impl<F: Forwarding> Simulation<F> {
                 pkt.ecn = true;
             }
         }
-        match self.queues[link as usize].offer(pkt, self.cfg.queue_bytes, ecn) {
+        // PFC sizes the (per-egress) buffer to the pause tree: per-ingress
+        // thresholds bound real occupancy, but an incast of many ingresses
+        // into one egress legitimately holds several XOFF-loads at once —
+        // a real lossless switch provisions shared buffer for exactly
+        // that, so the cap is lifted and `max_ingress_backlog` reports the
+        // occupancy the thresholds actually allowed.
+        let cap = if self.pfc.is_some() { u64::MAX } else { self.cfg.queue_bytes };
+        match self.queues[link as usize].offer(pkt, cap, ecn) {
             Offer::StartTx => {
+                if self.pfc.is_some() {
+                    self.inflight_meta[link as usize] = (pkt.ingress, pkt.size);
+                    self.pfc_charge(pkt.ingress, pkt.size);
+                }
                 let tx = self.tx_ns_on(link, pkt.size);
-                if self.fast {
+                if self.elide {
                     // The queue behind a freshly started wire is empty, so
                     // this TxDone would be terminal: elide it (reserving
                     // its seq) until a packet actually queues behind.
@@ -1011,6 +1187,9 @@ impl<F: Forwarding> Simulation<F> {
                 self.push(self.now + tx + self.link_delay(link), Ev::Arrive(link, pkt));
             }
             Offer::Queued => {
+                if self.pfc.is_some() {
+                    self.pfc_charge(pkt.ingress, pkt.size);
+                }
                 if let Some((pt, ps)) = self.queues[link as usize].pending_txdone.take() {
                     // A packet now waits behind the wire, so the elided
                     // terminal TxDone has real work to do: materialize it
@@ -1046,6 +1225,12 @@ impl<F: Forwarding> Simulation<F> {
             self.deliver(pkt);
         } else {
             // Arrived at a switch (head of a switch link or of an uplink).
+            let mut pkt = pkt;
+            if self.pfc.is_some() {
+                // The packet now occupies this switch's buffer on behalf
+                // of this ingress; `offer` charges it to this account.
+                pkt.ingress = link;
+            }
             self.forward(pkt);
         }
     }
@@ -1110,19 +1295,33 @@ impl<F: Forwarding> Simulation<F> {
         let f = pkt.flow as usize;
         if pkt.is_ack {
             let mut out = std::mem::take(&mut self.out_scratch);
-            self.senders[f].on_ack_ecn_into(
-                self.now,
-                pkt.seq,
-                pkt.echo_ns,
-                pkt.echo_epoch,
-                pkt.ecn,
-                &mut out,
-            );
+            if pkt.nack {
+                self.senders[f].on_nack_into(self.now, pkt.seq, pkt.echo_epoch, &mut out);
+            } else {
+                self.senders[f].on_ack_ecn_into(
+                    self.now,
+                    pkt.seq,
+                    pkt.echo_ns,
+                    pkt.echo_epoch,
+                    pkt.ecn,
+                    &mut out,
+                );
+            }
             self.apply_tcp_output(pkt.flow, &out);
             self.out_scratch = out;
         } else {
             self.delivered_bytes += pkt.size as u64;
-            let cum = self.receivers[f].on_data(pkt.seq, pkt.size);
+            let (cum, is_nack) = if self.cfg.transport == Transport::GoBackN {
+                // Go-back-N receiver: in-order data advances the cumulative
+                // ack; out-of-order data is discarded and NACKed (the NACK
+                // names the first missing byte).
+                match self.receivers[f].on_data_gbn(pkt.seq, pkt.size) {
+                    GbnSignal::Ack(c) => (c, false),
+                    GbnSignal::Nack(c) => (c, true),
+                }
+            } else {
+                (self.receivers[f].on_data(pkt.seq, pkt.size), false)
+            };
             // Emit an ACK back to the source server.
             let src_server = self.specs[f].src;
             let here = self.server_switch[pkt.dst_server as usize];
@@ -1139,6 +1338,9 @@ impl<F: Forwarding> Simulation<F> {
             );
             // DCTCP ECN echo: reflect the data packet's mark.
             ack.ecn = pkt.ecn;
+            // Go-back-N: mark the gap report; it routes exactly like an
+            // ACK and the sender dispatches on the flag.
+            ack.nack = is_nack;
             // ACKs keep flowlet 0, so the pre-hashed key folds only the
             // flow hash and the ACK salt.
             ack.hash_base = self.flow_hash[f] ^ ACK_SALT;
@@ -1690,6 +1892,223 @@ mod tests {
         let r = s.run();
         assert_eq!(r.unfinished(), 0);
         assert_eq!(s.switch_link_tx_bytes().iter().sum::<u64>(), 0);
+    }
+
+    // ---- PFC lossless switching + go-back-N ----
+
+    /// PFC config with the engine-test thresholds (low enough that the
+    /// small incast workloads actually cross them).
+    fn pfc_small() -> PfcConfig {
+        PfcConfig { xoff_bytes: 20_000, xon_bytes: 8_000 }
+    }
+
+    #[test]
+    fn pfc_incast_is_lossless_and_completes() {
+        // The lossless invariant: the incast that overflows drop-tail
+        // queues (`incast_causes_drops_but_all_flows_finish`) drops
+        // *nothing* under PFC — backpressure pauses the upstream ports
+        // instead — and go-back-N never has to retransmit.
+        let t = small_ls();
+        let fs = ForwardingState::build(&t.graph, RoutingScheme::Ecmp);
+        let cfg = SimConfig {
+            transport: Transport::GoBackN,
+            pfc: Some(pfc_small()),
+            ..Default::default()
+        };
+        let mut s = Simulation::new(&t, fs, cfg, 3);
+        for i in 0..12 {
+            s.add_flow(8 + i, 0, 150_000, 0).unwrap();
+        }
+        let r = s.run();
+        assert_eq!(r.unfinished(), 0);
+        assert_eq!(r.congestion_drops, 0, "PFC must not drop at full queues");
+        assert_eq!(r.dropped_packets, 0);
+        assert!(r.pause_frames > 0, "the incast must actually trigger XOFF");
+        assert!(r.resume_frames > 0, "paused ports must come back");
+        assert!(r.links_ever_paused > 0);
+        assert!(r.max_ingress_backlog >= pfc_small().xoff_bytes);
+        let rtx: u32 = r.flows.iter().map(|f| f.retransmits).sum();
+        assert_eq!(rtx, 0, "nothing lost, nothing reordered: no GBN rollback");
+        // No loss and no duplicates: delivered bytes are exactly the
+        // offered bytes.
+        assert_eq!(r.delivered_bytes, 12 * 150_000);
+    }
+
+    #[test]
+    fn pfc_is_lossless_under_tcp_too() {
+        // PFC is transport-agnostic: NewReno over the lossless fabric
+        // sees no drops either (its loss machinery just never fires).
+        let t = small_ls();
+        let fs = ForwardingState::build(&t.graph, RoutingScheme::Ecmp);
+        let cfg = SimConfig { pfc: Some(pfc_small()), ..Default::default() };
+        let mut s = Simulation::new(&t, fs, cfg, 3);
+        for i in 0..12 {
+            s.add_flow(8 + i, 0, 150_000, 0).unwrap();
+        }
+        let r = s.run();
+        assert_eq!(r.unfinished(), 0);
+        assert_eq!(r.congestion_drops, 0);
+        assert_eq!(r.dropped_packets, 0);
+        let timeouts: u32 = r.flows.iter().map(|f| f.timeouts).sum();
+        assert_eq!(timeouts, 0, "a lossless fabric starves the RTO machinery");
+    }
+
+    #[test]
+    fn gbn_recovers_on_lossy_fabric_via_nacks() {
+        // Go-back-N without PFC on two-packet queues: whole windows drop,
+        // and recovery must come from NACK rollbacks (plus RTOs for
+        // tail loss), not from fast retransmit (GBN has none).
+        let t = small_ls();
+        let fs = ForwardingState::build(&t.graph, RoutingScheme::Ecmp);
+        let cfg = SimConfig {
+            transport: Transport::GoBackN,
+            queue_bytes: 3_000,
+            ..Default::default()
+        };
+        let mut s = Simulation::new(&t, fs, cfg, 3);
+        for i in 0..12 {
+            s.add_flow(8 + i, 0, 60_000, 0).unwrap();
+        }
+        let r = s.run();
+        assert_eq!(r.unfinished(), 0, "all bytes must still arrive");
+        assert!(r.dropped_packets > 0, "the tiny queues must actually drop");
+        let rtx: u32 = r.flows.iter().map(|f| f.retransmits).sum();
+        assert!(rtx > 0, "drops must force go-back-N retransmissions");
+        assert!(r.delivered_bytes >= 12 * 60_000, "duplicates ride on top");
+    }
+
+    /// The satellite-3 regression: under PFC a terminal `TxDone` is not a
+    /// no-op — it discharges the in-flight packet's ingress account and
+    /// can trigger XON — so the fast datapath must materialize every
+    /// `TxDone` (elision off) while keeping the wheel/FibCache/scratch
+    /// fast paths. Pre-fix (elision keyed on `fast` alone), the fast run
+    /// missed discharges, deadlocked paused ports, and diverged from
+    /// Reference on every outcome below.
+    fn assert_datapaths_agree_under_pfc(
+        topo: &Topology,
+        scheme: RoutingScheme,
+        cfg: SimConfig,
+        seed: u64,
+        schedule: Option<&FailureSchedule>,
+    ) {
+        let run = |datapath| {
+            let cfg = SimConfig { datapath, ..cfg };
+            let mut s = match schedule {
+                Some(sched) => {
+                    let fs = Arc::new(ForwardingState::build(&topo.graph, scheme));
+                    let mut s = Simulation::new(topo, Arc::clone(&fs), cfg, seed);
+                    s.set_failure_schedule(topo, fs, sched.clone()).unwrap();
+                    s
+                }
+                None => {
+                    let fs = Arc::new(ForwardingState::build(&topo.graph, scheme));
+                    Simulation::new(topo, fs, cfg, seed)
+                }
+            };
+            // Incast plus a second wave: queues pause, drain, and pause
+            // again, so XOFF/XON interleave with flow starts and RTOs.
+            for i in 0..12 {
+                s.add_flow(8 + i, 0, 150_000, 0).unwrap();
+            }
+            for i in 0..4 {
+                s.add_flow(1 + i, 0, 40_000, 400_000 + (i as u64) * 50_000).unwrap();
+            }
+            let r = s.run();
+            let fcts: Vec<Option<Ns>> = r.flows.iter().map(|f| f.fct_ns).collect();
+            (
+                fcts,
+                r.dropped_packets,
+                r.congestion_drops,
+                r.delivered_bytes,
+                r.pause_frames,
+                r.resume_frames,
+                r.links_ever_paused,
+                r.max_ingress_backlog,
+                s.pkt_hops(),
+                s.switch_link_tx_bytes(),
+            )
+        };
+        let fast = run(Datapath::Fast);
+        let reference = run(Datapath::Reference);
+        assert_eq!(fast, reference);
+        assert!(fast.4 > 0, "scenario must actually exercise pause frames");
+    }
+
+    #[test]
+    fn fast_datapath_matches_reference_under_pfc_gbn() {
+        let t = small_ls();
+        let cfg = SimConfig {
+            transport: Transport::GoBackN,
+            pfc: Some(pfc_small()),
+            ..Default::default()
+        };
+        assert_datapaths_agree_under_pfc(&t, RoutingScheme::Ecmp, cfg, 71, None);
+    }
+
+    #[test]
+    fn fast_datapath_matches_reference_under_pfc_newreno() {
+        let t = small_ls();
+        let cfg = SimConfig { pfc: Some(pfc_small()), ..Default::default() };
+        assert_datapaths_agree_under_pfc(&t, RoutingScheme::Ecmp, cfg, 72, None);
+    }
+
+    #[test]
+    fn fast_datapath_matches_reference_under_pfc_and_failures() {
+        // Pause/resume interleaved with a mid-incast link flap: dead-link
+        // flushes must discharge ingress accounts identically on both
+        // datapaths (phantom pause trees would diverge or deadlock).
+        let t = small_ls();
+        let cfg = SimConfig {
+            transport: Transport::GoBackN,
+            pfc: Some(pfc_small()),
+            max_time_ns: 100_000_000,
+            ..Default::default()
+        };
+        let sched = FailureSchedule::new(100_000)
+            .link_down(300_000, 0)
+            .link_up(2_000_000, 0);
+        assert_datapaths_agree_under_pfc(&t, RoutingScheme::Ecmp, cfg, 73, Some(&sched));
+    }
+
+    #[test]
+    fn pfc_pause_tree_reaches_flat_mesh_links() {
+        // On a flat topology the incast's pause tree must climb past the
+        // victim's ToR into mesh links — the congestion-spreading
+        // phenomenon EXPERIMENTS P7 quantifies. Finite horizon: cyclic
+        // buffer dependencies can legitimately deadlock PFC on a mesh.
+        let t = DRing::uniform(6, 2, 24).build();
+        let fs = ForwardingState::build(&t.graph, RoutingScheme::ShortestUnion(2));
+        let cfg = SimConfig {
+            transport: Transport::GoBackN,
+            pfc: Some(pfc_small()),
+            max_time_ns: 50_000_000,
+            ..Default::default()
+        };
+        let mut s = Simulation::new(&t, fs, cfg, 5);
+        // One sender in each remote rack, all into server 0.
+        for sw in 1..t.num_switches() {
+            let src = t.servers_on(sw).start;
+            s.add_flow(src, 0, 150_000, 0).unwrap();
+        }
+        let r = s.run();
+        assert_eq!(r.congestion_drops, 0);
+        assert!(
+            r.links_ever_paused > 1,
+            "pause tree should spread beyond the victim's own ingress: {}",
+            r.links_ever_paused
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis")]
+    fn pfc_rejects_inverted_thresholds() {
+        let t = small_ls();
+        let fs = ForwardingState::build(&t.graph, RoutingScheme::Ecmp);
+        let cfg = SimConfig {
+            pfc: Some(PfcConfig { xoff_bytes: 10_000, xon_bytes: 10_000 }),
+            ..Default::default()
+        };
+        let _ = Simulation::new(&t, fs, cfg, 1);
     }
 
     // ---- dynamic failures ----

@@ -217,6 +217,13 @@ impl HybridSimulation {
             hcfg.min_packet_share > 0.0 && hcfg.min_packet_share < 1.0,
             "min_packet_share must be in (0, 1)"
         );
+        // Fluid elephants have no per-ingress buffer occupancy for PFC
+        // thresholds to watch, so lossless backpressure cannot reach them;
+        // lossless studies run on the plain packet engine.
+        assert!(
+            cfg.pfc.is_none(),
+            "the hybrid co-simulation does not support PFC lossless mode; use Simulation"
+        );
         let space = LinkSpace::new(topo);
         let sim = Simulation::new(topo, fs.clone(), cfg, seed);
         assert_eq!(
@@ -664,6 +671,19 @@ mod tests {
             v.push((src, dst, bytes, (i as u64) * 2_000));
         }
         v
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support PFC")]
+    fn hybrid_rejects_pfc() {
+        // Fluid elephants carry no buffer occupancy, so PFC backpressure
+        // cannot reach them; lossless studies use the plain engine.
+        let (t, fs) = build(4, 2);
+        let cfg = SimConfig {
+            pfc: Some(crate::types::PfcConfig::default()),
+            ..Default::default()
+        };
+        let _ = HybridSimulation::new(&t, fs, cfg, HybridConfig::default(), 1);
     }
 
     #[test]

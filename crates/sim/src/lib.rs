@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cong;
 pub mod engine;
 pub mod equeue;
 pub mod failure;
@@ -38,11 +39,13 @@ pub mod shard;
 pub mod tcp;
 pub mod types;
 
+pub use cong::{CongAlg, ConstCwnd, Dctcp, NewReno};
 pub use engine::Simulation;
 pub use equeue::{CalendarQueue, EventQueue, HeapQueue, TimerWheel};
 pub use failure::{FailureEvent, FailureSchedule};
 pub use hybrid::{HybridConfig, HybridMode, HybridReport, HybridSimulation};
 pub use shard::{
-    choose_engine, estimate_events, EngineChoice, ExecMode, ShardedSimulation,
+    choose_engine, estimate_events, estimate_events_detailed, EngineChoice, ExecMode,
+    ShardedSimulation,
 };
-pub use types::{Datapath, FlowId, FlowRecord, Scheduler, SimConfig, SimReport};
+pub use types::{Datapath, FlowId, FlowRecord, PfcConfig, Scheduler, SimConfig, SimReport};

@@ -26,8 +26,16 @@ pub struct LinkQueue {
     /// lazily to an idle transition otherwise. `None` in the reference
     /// datapath and whenever a real `TxDone` event is pending.
     pub(crate) pending_txdone: Option<(Ns, u64)>,
+    /// PFC: `true` while the far end has this direction paused (XOFF
+    /// received, no XON yet). A paused port finishes the packet on the
+    /// wire but starts no new transmission; the queue keeps filling.
+    paused: bool,
     /// Packets dropped at this queue.
     pub drops: u64,
+    /// Packets dropped specifically at a *full queue* (tail drops), a
+    /// subset of `drops` — the rest are dead-link flushes. PFC's lossless
+    /// invariant is about this counter.
+    pub tail_drops: u64,
     /// Total bytes ever accepted for transmission (utilization accounting).
     pub tx_bytes: u64,
 }
@@ -64,7 +72,7 @@ impl LinkQueue {
                 pkt.ecn = true;
             }
         }
-        if !self.busy {
+        if !self.busy && !self.paused {
             debug_assert!(self.queue.is_empty());
             self.busy = true;
             self.tx_bytes += pkt.size as u64;
@@ -75,14 +83,21 @@ impl LinkQueue {
             Offer::Queued
         } else {
             self.drops += 1;
+            self.tail_drops += 1;
             Offer::Dropped
         }
     }
 
     /// The wire finished serializing: dequeue the next packet to transmit,
-    /// if any. Returns `None` (and goes idle) when the queue is empty.
+    /// if any. Returns `None` (and goes idle) when the queue is empty —
+    /// or, under PFC, when the port is paused: the wire drains but no new
+    /// serialization starts until [`resume`](LinkQueue::resume).
     pub fn tx_done(&mut self) -> Option<Packet> {
         debug_assert!(self.busy);
+        if self.paused {
+            self.busy = false;
+            return None;
+        }
         match self.queue.pop_front() {
             Some(p) => {
                 self.queued_bytes -= p.size as u64;
@@ -94,6 +109,44 @@ impl LinkQueue {
                 None
             }
         }
+    }
+
+    /// PFC XOFF: stop starting new transmissions. The packet on the wire
+    /// (if any) finishes — pausing mid-serialization is not a thing real
+    /// PFC does either.
+    pub fn pause(&mut self) {
+        self.paused = true;
+    }
+
+    /// PFC XON: re-open the port. If the wire is idle and packets queued
+    /// up while paused, pops the head to start serializing (the caller
+    /// schedules its `TxDone`); returns `None` if the wire is still busy
+    /// (the normal `tx_done` chain takes over) or nothing is waiting.
+    pub fn resume(&mut self) -> Option<Packet> {
+        self.paused = false;
+        if self.busy {
+            return None;
+        }
+        match self.queue.pop_front() {
+            Some(p) => {
+                self.queued_bytes -= p.size as u64;
+                self.tx_bytes += p.size as u64;
+                self.busy = true;
+                Some(p)
+            }
+            None => None,
+        }
+    }
+
+    /// Whether the far end currently has this port paused.
+    pub fn is_paused(&self) -> bool {
+        self.paused
+    }
+
+    /// The waiting packets, head (next to transmit) first. PFC's dead-link
+    /// discharge walks this before flushing.
+    pub(crate) fn iter_queued(&self) -> impl Iterator<Item = &Packet> {
+        self.queue.iter()
     }
 
     /// Fast datapath: resolves an elided terminal `TxDone` — the wire
@@ -187,6 +240,64 @@ mod tests {
         // tx_bytes counts only what reached the wire.
         assert_eq!(q.tx_bytes, 100);
         assert!(q.tx_done().is_none());
+    }
+
+    #[test]
+    fn paused_port_queues_and_resume_restarts() {
+        let mut q = LinkQueue::new();
+        q.pause();
+        assert!(q.is_paused());
+        // Offers while paused+idle queue instead of starting.
+        assert_eq!(q.offer(pkt(100), 10_000, None), Offer::Queued);
+        assert_eq!(q.offer(pkt(200), 10_000, None), Offer::Queued);
+        assert!(!q.is_busy());
+        assert_eq!(q.backlog_bytes(), 300);
+        // Resume pops the head and starts serializing it.
+        let head = q.resume().unwrap();
+        assert_eq!(head.size, 100);
+        assert!(q.is_busy());
+        assert_eq!(q.backlog_bytes(), 200);
+        assert_eq!(q.tx_bytes, 100);
+    }
+
+    #[test]
+    fn pause_lets_wire_finish_then_holds() {
+        let mut q = LinkQueue::new();
+        q.offer(pkt(100), 10_000, None); // on the wire
+        q.offer(pkt(200), 10_000, None); // queued
+        q.pause();
+        // The in-flight packet finishes but the next one is NOT started.
+        assert!(q.tx_done().is_none());
+        assert!(!q.is_busy());
+        assert_eq!(q.backlog_bytes(), 200);
+        // Resume while idle starts the held packet.
+        assert_eq!(q.resume().unwrap().size, 200);
+        assert!(q.is_busy());
+    }
+
+    #[test]
+    fn resume_while_busy_is_a_noop() {
+        let mut q = LinkQueue::new();
+        q.offer(pkt(100), 10_000, None);
+        q.offer(pkt(200), 10_000, None);
+        q.pause();
+        q.pause(); // idempotent
+        assert!(q.resume().is_none(), "wire still busy: tx_done chain owns it");
+        assert!(!q.is_paused());
+        // Normal drain resumes.
+        assert_eq!(q.tx_done().unwrap().size, 200);
+    }
+
+    #[test]
+    fn tail_drops_counts_full_queue_only() {
+        let mut q = LinkQueue::new();
+        q.offer(pkt(1500), 1500, None);
+        q.offer(pkt(1500), 1500, None);
+        assert_eq!(q.offer(pkt(1500), 1500, None), Offer::Dropped);
+        assert_eq!(q.tail_drops, 1);
+        assert_eq!(q.flush_dead(), 1);
+        assert_eq!(q.drops, 2, "flush charges drops...");
+        assert_eq!(q.tail_drops, 1, "...but not tail_drops");
     }
 
     #[test]

@@ -6,8 +6,12 @@
 //! (the VRF a real switch would key on the ingress interface) is modelled
 //! without any per-switch per-flow state.
 
-use crate::types::{FlowId, Ns};
+use crate::types::{DirLinkId, FlowId, Ns};
 use spineless_graph::NodeId;
+
+/// Sentinel `ingress` for packets not (yet) inside the fabric, or for runs
+/// without PFC where ingress tracking is off.
+pub const INGRESS_NONE: DirLinkId = DirLinkId::MAX;
 
 /// A packet in flight or queued.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +52,14 @@ pub struct Packet {
     /// computation. Constructors set 0; the engine fills it after flowlet
     /// assignment.
     pub hash_base: u64,
+    /// `true` for a go-back-N NACK: `seq` names the first missing byte
+    /// the receiver needs resent. Travels receiver → sender like an ACK
+    /// (`is_ack` is also set so forwarding treats it identically).
+    pub nack: bool,
+    /// Directed link this packet arrived on at its current queue —
+    /// [`INGRESS_NONE`] outside a PFC run. PFC's per-ingress buffer
+    /// accounting (and pause-frame addressing) keys on this.
+    pub ingress: DirLinkId,
 }
 
 impl Packet {
@@ -76,6 +88,8 @@ impl Packet {
             flowlet: 0,
             ecn: false,
             hash_base: 0,
+            nack: false,
+            ingress: INGRESS_NONE,
         }
     }
 
@@ -104,6 +118,8 @@ impl Packet {
             flowlet: 0,
             ecn: false,
             hash_base: 0,
+            nack: false,
+            ingress: INGRESS_NONE,
         }
     }
 }

@@ -46,7 +46,7 @@ use crate::equeue::HeapQueue;
 use crate::failure::{FailureEvent, FailureSchedule};
 use crate::link::{LinkQueue, Offer};
 use crate::packet::Packet;
-use crate::tcp::{TcpOutput, TcpReceiver, TcpSender};
+use crate::tcp::{GbnSignal, TcpOutput, TcpReceiver, TcpSender};
 use crate::types::{Datapath, DirLinkId, FlowId, FlowRecord, Ns, SimConfig, SimReport, Transport};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -337,6 +337,16 @@ impl ShardedSimulation {
         } else {
             None
         };
+        // PFC couples neighbouring switches tighter than the wire: a pause
+        // frame answers per-ingress occupancy at the *downstream* node, so
+        // a shard's safe window would shrink to the 64-byte pause transit
+        // and per-ingress accounts would have to be shared across domain
+        // boundaries. Neither fits the conservative-window design, so
+        // lossless runs stay on the serial engine (`Simulation`).
+        assert!(
+            cfg.pfc.is_none(),
+            "the sharded engine does not support PFC lossless mode; use Simulation"
+        );
         // Smallest on-wire packet is 1 byte (or a 0-byte ACK if so
         // configured); a cross-shard arrival is never earlier than
         // serialization plus propagation of that.
@@ -681,6 +691,17 @@ impl ShardedSimulation {
                 end_ns,
                 events,
                 used_fib_cache: self.base_hot.is_some(),
+                // PFC is rejected at construction, so the lossless
+                // counters are structurally zero here; congestion drops
+                // are every tail drop.
+                congestion_drops: cores
+                    .iter()
+                    .map(|c| c.queues.iter().map(|q| q.tail_drops).sum::<u64>())
+                    .sum(),
+                pause_frames: 0,
+                resume_frames: 0,
+                links_ever_paused: 0,
+                max_ingress_backlog: 0,
             },
             pkt_hops,
             tx_bytes,
@@ -1148,20 +1169,34 @@ impl ShardCore {
         if pkt.is_ack {
             let li = self.shared.flow_sidx[f] as usize;
             let mut out = std::mem::take(&mut self.out_scratch);
-            self.senders[li].on_ack_ecn_into(
-                self.now,
-                pkt.seq,
-                pkt.echo_ns,
-                pkt.echo_epoch,
-                pkt.ecn,
-                &mut out,
-            );
+            if pkt.nack {
+                self.senders[li].on_nack_into(self.now, pkt.seq, pkt.echo_epoch, &mut out);
+            } else {
+                self.senders[li].on_ack_ecn_into(
+                    self.now,
+                    pkt.seq,
+                    pkt.echo_ns,
+                    pkt.echo_epoch,
+                    pkt.ecn,
+                    &mut out,
+                );
+            }
             self.apply_tcp_output(pkt.flow, &out, sync);
             self.out_scratch = out;
         } else {
             self.delivered_bytes += pkt.size as u64;
             let ri = self.shared.flow_ridx[f] as usize;
-            let cum = self.receivers[ri].on_data(pkt.seq, pkt.size);
+            // Mirrors the serial engine's go-back-N dispatch exactly (the
+            // sharded engine must stay byte-identical on lossy GBN runs;
+            // lossless PFC is rejected at construction).
+            let (cum, is_nack) = if self.shared.cfg.transport == Transport::GoBackN {
+                match self.receivers[ri].on_data_gbn(pkt.seq, pkt.size) {
+                    GbnSignal::Ack(c) => (c, false),
+                    GbnSignal::Nack(c) => (c, true),
+                }
+            } else {
+                (self.receivers[ri].on_data(pkt.seq, pkt.size), false)
+            };
             let src_server = self.shared.specs[f].src;
             let here = self.shared.server_switch[pkt.dst_server as usize];
             let back_to = self.shared.server_switch[src_server as usize];
@@ -1176,6 +1211,7 @@ impl ShardCore {
                 pkt.echo_epoch,
             );
             ack.ecn = pkt.ecn;
+            ack.nack = is_nack;
             ack.hash_base = self.shared.flow_hash[f] ^ ACK_SALT;
             self.offer(self.shared.base_up + pkt.dst_server, ack, sync);
         }
@@ -1295,6 +1331,28 @@ pub fn estimate_events(flow_bytes: impl IntoIterator<Item = u64>, mss_bytes: u32
         est = est.saturating_add(segs.saturating_mul(16).saturating_add(4));
     }
     est
+}
+
+/// [`estimate_events`] plus the control-plane traffic the pure data-plane
+/// estimate ignores: each scheduled fault/repair is an event *and* spawns
+/// a reconvergence event (`control_events * 2`), and a lossless (PFC) run
+/// adds pause/resume frames plus the extra `TxDone`s elision can no longer
+/// skip — a flat +25% congestion-dependent surcharge (incast-heavy lossless
+/// runs measured 15–30% more events than their lossy twins). `Scheduler::
+/// Auto` and engine selection key on this so they don't mis-select at
+/// lossless incast scale; the plain [`estimate_events`] stays as the pure
+/// data-plane estimate the calibration pins are expressed in.
+pub fn estimate_events_detailed(
+    flow_bytes: impl IntoIterator<Item = u64>,
+    mss_bytes: u32,
+    control_events: u64,
+    lossless: bool,
+) -> u64 {
+    let mut est = estimate_events(flow_bytes, mss_bytes);
+    if lossless {
+        est = est.saturating_add(est / 4);
+    }
+    est.saturating_add(control_events.saturating_mul(2))
 }
 
 /// Event-count + topology-size heuristic choosing between serial-heap,
@@ -1538,5 +1596,41 @@ mod tests {
         let small = estimate_events([10_000u64], 1500);
         let big = estimate_events([10_000_000u64], 1500);
         assert!(small < 1_000 && big > 100_000, "small={small} big={big}");
+    }
+
+    #[test]
+    fn detailed_estimate_folds_in_control_plane() {
+        // The data-plane estimate is the baseline...
+        let base = estimate_events([100_000u64; 4], 1500);
+        assert_eq!(estimate_events_detailed([100_000u64; 4], 1500, 0, false), base);
+        // ...each scheduled fault/repair adds itself plus its
+        // reconvergence...
+        assert_eq!(
+            estimate_events_detailed([100_000u64; 4], 1500, 10, false),
+            base + 20
+        );
+        // ...and a lossless run pays the pause/resume + un-elided TxDone
+        // surcharge on the data-plane part only.
+        assert_eq!(
+            estimate_events_detailed([100_000u64; 4], 1500, 10, true),
+            base + base / 4 + 20
+        );
+        // Saturation stays saturation.
+        assert_eq!(
+            estimate_events_detailed([u64::MAX; 3], 1, u64::MAX, true),
+            u64::MAX
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support PFC")]
+    fn sharded_engine_rejects_pfc() {
+        // Per-ingress pause state couples neighbouring switches tighter
+        // than the conservative lookahead window: lossless runs must be
+        // redirected to the serial engine, loudly.
+        let topo = LeafSpine::new(4, 2).build();
+        let fs = plane(&topo);
+        let cfg = SimConfig { pfc: Some(crate::types::PfcConfig::default()), ..Default::default() };
+        let _ = ShardedSimulation::new(&topo, fs, cfg, 1, 4, ExecMode::Parallel);
     }
 }

@@ -1,10 +1,15 @@
-//! TCP NewReno sender and receiver state machines.
+//! TCP sender and receiver state machines.
 //!
 //! The machines are engine-agnostic: each input event returns a
 //! [`TcpOutput`] describing segments to emit and the RTO timer to (re)arm,
 //! and the engine turns those into queue operations and events. This keeps
-//! the congestion-control logic purely functional over its own state and
+//! the transport logic purely functional over its own state and
 //! unit-testable without a network.
+//!
+//! The sender owns the *loss-detection machine*; window sizing is
+//! delegated to a [`CongAlg`](crate::cong::CongAlg) implementation
+//! (NewReno / DCTCP / fixed-window), picked from
+//! [`Transport`](crate::types::Transport) at construction.
 //!
 //! Implemented behaviour (the subset that matters at htsim fidelity):
 //!
@@ -12,8 +17,12 @@
 //! * fast retransmit on three duplicate ACKs, NewReno partial-ACK recovery;
 //! * RTO per RFC 6298 (SRTT/RTTVAR, Karn's rule via retransmission epochs,
 //!   exponential backoff, configurable floor);
-//! * cumulative ACKs with out-of-order reassembly at the receiver.
+//! * cumulative ACKs with out-of-order reassembly at the receiver;
+//! * NACK-driven go-back-N ([`Transport::GoBackN`]) for the lossless (PFC)
+//!   fabric: the receiver accepts only in-order data and NACKs the first
+//!   gap; the sender rolls its send edge back and resends the window.
 
+use crate::cong::{CongAlg, ConstCwnd, Dctcp, NewReno};
 use crate::types::{FlowId, Ns, Transport};
 use std::collections::BTreeMap;
 
@@ -51,7 +60,7 @@ impl TcpOutput {
     }
 }
 
-/// NewReno sender for one flow.
+/// Sender-side state machine for one flow.
 #[derive(Debug, Clone)]
 pub struct TcpSender {
     /// Flow this sender belongs to.
@@ -63,8 +72,9 @@ pub struct TcpSender {
 
     next_seq: u64,
     cum_acked: u64,
-    cwnd: f64,
-    ssthresh: f64,
+    /// Highest send edge ever reached; anything re-sent below it is a
+    /// retransmission (go-back-N rolls `next_seq` back below this).
+    high_water: u64,
     dup_acks: u32,
     in_recovery: bool,
     recover: u64,
@@ -78,13 +88,8 @@ pub struct TcpSender {
     completed: bool,
 
     transport: Transport,
-    /// DCTCP: EWMA of the marked fraction (g = 1/16).
-    alpha: f64,
-    /// DCTCP: bytes acked / marked in the current observation window.
-    win_bytes: u64,
-    win_marked: u64,
-    /// DCTCP: the window closes when the cumulative ack passes this.
-    win_end: u64,
+    /// Window arithmetic, behind the `CongAlg` seam.
+    alg: Box<dyn CongAlg>,
 
     /// Segments retransmitted.
     pub retransmits: u32,
@@ -115,6 +120,14 @@ impl TcpSender {
     ) -> TcpSender {
         assert!(total_bytes > 0, "empty flow");
         assert!(mss > 0);
+        let alg: Box<dyn CongAlg> = match transport {
+            Transport::NewReno => Box::new(NewReno::new(initial_cwnd)),
+            Transport::Dctcp => Box::new(Dctcp::new(initial_cwnd)),
+            // Go-back-N runs a fixed window: on a lossless fabric the
+            // switches backpressure the source, so the window only bounds
+            // in-flight state.
+            Transport::GoBackN => Box::new(ConstCwnd::new(initial_cwnd)),
+        };
         TcpSender {
             flow,
             total_bytes,
@@ -122,8 +135,7 @@ impl TcpSender {
             min_rto_ns,
             next_seq: 0,
             cum_acked: 0,
-            cwnd: initial_cwnd.max(1) as f64,
-            ssthresh: f64::INFINITY,
+            high_water: 0,
             dup_acks: 0,
             in_recovery: false,
             recover: 0,
@@ -135,10 +147,7 @@ impl TcpSender {
             timer_gen: 0,
             completed: false,
             transport,
-            alpha: 0.0,
-            win_bytes: 0,
-            win_marked: 0,
-            win_end: 0,
+            alg,
             retransmits: 0,
             timeouts: 0,
         }
@@ -146,12 +155,12 @@ impl TcpSender {
 
     /// DCTCP's current marked-fraction estimate (0 for NewReno).
     pub fn dctcp_alpha(&self) -> f64 {
-        self.alpha
+        self.alg.alpha()
     }
 
     /// Congestion window in segments (diagnostics).
     pub fn cwnd(&self) -> f64 {
-        self.cwnd
+        self.alg.cwnd()
     }
 
     /// Current retransmission epoch (stamped into data packets).
@@ -221,15 +230,10 @@ impl TcpSender {
         }
         if ack > self.cum_acked {
             let newly = ack - self.cum_acked;
-            if self.transport == Transport::Dctcp {
-                // Canonical DCTCP: the first CE mark ends slow start, so a
-                // marked stretch grows additively while the window-close
-                // cut (alpha/2) pulls cwnd down.
-                if ece && self.cwnd < self.ssthresh {
-                    self.ssthresh = self.cwnd;
-                }
-                self.dctcp_account(ack, newly, ece);
-            }
+            // Pre-update hook (DCTCP mark accounting; no-op otherwise) —
+            // runs before cum_acked/next_seq move, exactly where the
+            // pre-seam inline code sat.
+            self.alg.on_ack_data(ack, newly, ece, self.in_recovery, self.next_seq);
             self.cum_acked = ack;
             self.next_seq = self.next_seq.max(ack);
             if echo_epoch == self.rtx_epoch {
@@ -239,7 +243,7 @@ impl TcpSender {
                 if ack >= self.recover {
                     // Full ACK: leave recovery, deflate to ssthresh.
                     self.in_recovery = false;
-                    self.cwnd = self.ssthresh;
+                    self.alg.exit_recovery();
                     self.dup_acks = 0;
                 } else {
                     // Partial ACK: the next hole is lost too — retransmit
@@ -248,12 +252,7 @@ impl TcpSender {
                 }
             } else {
                 self.dup_acks = 0;
-                let segs = newly as f64 / self.mss as f64;
-                if self.cwnd < self.ssthresh {
-                    self.cwnd += segs; // slow start
-                } else {
-                    self.cwnd += segs / self.cwnd; // congestion avoidance
-                }
+                self.alg.on_newly_acked(newly, self.mss);
             }
             if self.cum_acked >= self.total_bytes {
                 self.completed = true;
@@ -263,12 +262,14 @@ impl TcpSender {
             }
             self.fill_window(out);
             self.arm_timer(now, out);
-        } else if ack == self.cum_acked {
+        } else if ack == self.cum_acked && self.transport != Transport::GoBackN {
+            // Go-back-N never fast-retransmits on duplicates: its receiver
+            // discards out-of-order data, so duplicate ACKs carry no SACK
+            // information — loss recovery is NACK- and RTO-driven only.
             self.dup_acks += 1;
             if !self.in_recovery && self.dup_acks == 3 {
                 // Fast retransmit.
-                self.ssthresh = (self.cwnd / 2.0).max(2.0);
-                self.cwnd = self.ssthresh + 3.0;
+                self.alg.enter_recovery();
                 self.in_recovery = true;
                 self.recover = self.next_seq;
                 self.rtx_epoch += 1;
@@ -276,10 +277,44 @@ impl TcpSender {
                 self.arm_timer(now, out);
             } else if self.in_recovery {
                 // Window inflation lets new data out during recovery.
-                self.cwnd += 1.0;
+                self.alg.inflate();
                 self.fill_window(out);
             }
         }
+    }
+
+    /// Processes a go-back-N NACK: the receiver saw out-of-order data and
+    /// asks for everything from `nack_seq` again. `echo_epoch` is the
+    /// retransmission epoch stamped on the data packet that triggered the
+    /// NACK — a stale epoch means the sender already rolled back for this
+    /// loss burst, and the NACK is ignored (one rollback per burst).
+    pub fn on_nack(&mut self, now: Ns, nack_seq: u64, echo_epoch: u32) -> TcpOutput {
+        let mut out = TcpOutput::default();
+        self.on_nack_into(now, nack_seq, echo_epoch, &mut out);
+        out
+    }
+
+    /// [`on_nack`](Self::on_nack) writing into a caller-owned scratch
+    /// output (cleared first) so the hot loop reuses one allocation.
+    pub fn on_nack_into(&mut self, now: Ns, nack_seq: u64, echo_epoch: u32, out: &mut TcpOutput) {
+        out.clear();
+        if self.completed || self.transport != Transport::GoBackN {
+            return;
+        }
+        if echo_epoch != self.rtx_epoch {
+            return;
+        }
+        let target = nack_seq.max(self.cum_acked);
+        if target >= self.next_seq {
+            return;
+        }
+        // Roll the send edge back and resend the window from the gap;
+        // bumping the epoch retires RTT echoes and NACKs from the
+        // pre-rollback packets still in flight (Karn's rule, reused).
+        self.rtx_epoch += 1;
+        self.next_seq = target;
+        self.fill_window(out);
+        self.arm_timer(now, out);
     }
 
     /// Processes an RTO timer firing with generation `gen`; stale
@@ -299,8 +334,18 @@ impl TcpSender {
         }
         self.timeouts += 1;
         self.rtx_epoch += 1;
-        self.ssthresh = (self.cwnd / 2.0).max(2.0);
-        self.cwnd = 1.0;
+        if self.transport == Transport::GoBackN {
+            // Go-back-N timeout: roll the send edge back to the cumulative
+            // ack and resend the whole window. The window is fixed
+            // (ConstCwnd), so there is no collapse and no NewReno
+            // hole-by-hole recovery; backoff still spaces repeat timeouts.
+            self.backoff = (self.backoff + 1).min(8);
+            self.next_seq = self.cum_acked;
+            self.fill_window(out);
+            self.arm_timer(now, out);
+            return;
+        }
+        self.alg.on_timeout();
         // An RTO means everything in flight is presumed lost: enter loss
         // recovery up to `next_seq` so each partial ACK retransmits the
         // next hole immediately (RFC 6582 §3.2). Without this, recovery
@@ -322,42 +367,22 @@ impl TcpSender {
         self.timer_gen
     }
 
-    /// Sends as much new data as the window allows.
+    /// Sends as much data as the window allows from `next_seq`. Segments
+    /// below the high-water mark are resends (go-back-N rollback); for the
+    /// NewReno/DCTCP machines `next_seq` never moves backwards, so this
+    /// path emits only fresh data there, exactly as before the seam.
     fn fill_window(&mut self, out: &mut TcpOutput) {
-        let win = (self.cwnd.floor().max(1.0) as u64) * self.mss as u64;
+        let win = (self.alg.cwnd().floor().max(1.0) as u64) * self.mss as u64;
         while self.next_seq < self.total_bytes && self.next_seq < self.cum_acked + win {
             let size = (self.total_bytes - self.next_seq).min(self.mss as u64) as u32;
-            out.send.push(SendAction { seq: self.next_seq, size, is_rtx: false });
+            let is_rtx = self.next_seq < self.high_water;
+            if is_rtx {
+                self.retransmits += 1;
+            }
+            out.send.push(SendAction { seq: self.next_seq, size, is_rtx });
             self.next_seq += size as u64;
         }
-    }
-
-    /// DCTCP bookkeeping: accumulate marked bytes; once per window of
-    /// data, fold the fraction into alpha (g = 1/16) and cut cwnd by
-    /// `alpha / 2` if anything was marked (Alizadeh et al., SIGCOMM '10).
-    fn dctcp_account(&mut self, ack: u64, newly: u64, ece: bool) {
-        self.win_bytes += newly;
-        if ece {
-            self.win_marked += newly;
-        }
-        if ack >= self.win_end {
-            const G: f64 = 1.0 / 16.0;
-            let frac = if self.win_bytes > 0 {
-                self.win_marked as f64 / self.win_bytes as f64
-            } else {
-                0.0
-            };
-            self.alpha = (1.0 - G) * self.alpha + G * frac;
-            if self.win_marked > 0 && !self.in_recovery {
-                let reduced = self.cwnd * (1.0 - self.alpha / 2.0);
-                self.cwnd = reduced.max(2.0);
-                // Marks also end slow start.
-                self.ssthresh = self.ssthresh.min(self.cwnd);
-            }
-            self.win_bytes = 0;
-            self.win_marked = 0;
-            self.win_end = self.next_seq;
-        }
+        self.high_water = self.high_water.max(self.next_seq);
     }
 
     /// Retransmits the segment at the left edge of the window.
@@ -391,6 +416,16 @@ impl TcpSender {
         let deadline = now + (self.rto_ns << self.backoff);
         out.set_timer = Some((deadline, self.timer_gen));
     }
+}
+
+/// What a go-back-N receiver wants sent back for one data segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GbnSignal {
+    /// In-order (or duplicate) data: send this cumulative ACK.
+    Ack(u64),
+    /// Out-of-order data was discarded: NACK asking for this sequence
+    /// (everything before it has been received in order).
+    Nack(u64),
 }
 
 /// Reassembling receiver for one flow: returns the cumulative ACK to send
@@ -443,6 +478,23 @@ impl TcpReceiver {
             }
         }
         self.expected
+    }
+
+    /// Go-back-N ingest: only in-order data advances the edge; anything
+    /// past the first gap is *discarded* (no reassembly buffer — the
+    /// RDMA-style receiver of a lossless fabric) and answered with a NACK
+    /// for the gap. Duplicates re-ACK so a lost ACK cannot stall the flow.
+    pub fn on_data_gbn(&mut self, seq: u64, size: u32) -> GbnSignal {
+        self.received_bytes += size as u64;
+        let end = seq + size as u64;
+        if seq <= self.expected {
+            if end > self.expected {
+                self.expected = end;
+            }
+            GbnSignal::Ack(self.expected)
+        } else {
+            GbnSignal::Nack(self.expected)
+        }
     }
 }
 
@@ -695,6 +747,108 @@ mod tests {
             n.on_ack(i * 10, i * 1000, i * 10 - 5, 0);
         }
         assert!(n.cwnd() > after);
+    }
+
+    // ---- go-back-N ----
+
+    fn gbn(bytes: u64) -> TcpSender {
+        TcpSender::with_transport(0, bytes, MSS, 4, MIN_RTO, crate::types::Transport::GoBackN)
+    }
+
+    #[test]
+    fn gbn_window_is_fixed() {
+        let mut s = gbn(1_000_000);
+        let o = s.start(0);
+        assert_eq!(o.send.len(), 4); // ConstCwnd(4)
+        assert_eq!(s.cwnd(), 4.0);
+        let o = s.on_ack(10, 1000, 0, 0);
+        // One segment acked opens exactly one slot: no growth ever.
+        assert_eq!(o.send.len(), 1);
+        assert_eq!(s.cwnd(), 4.0);
+    }
+
+    #[test]
+    fn gbn_nack_rolls_back_and_resends_window() {
+        let mut s = gbn(1_000_000);
+        s.start(0); // seqs 0..4000 in flight, epoch 0
+        s.on_ack(10, 1000, 0, 0); // cum 1000, sends seq 4000
+        // Segment 1000 lost; receiver NACKs 1000 on seeing 2000 (epoch 0).
+        let o = s.on_nack(20, 1000, 0);
+        assert_eq!(s.epoch(), 1, "rollback bumps the epoch");
+        // Window = 4 segs from cum 1000: 1000..5000, all retransmissions
+        // except the never-sent 5000... high water was 5000, so all 4 rtx.
+        assert_eq!(o.send.len(), 4);
+        assert_eq!(o.send[0], SendAction { seq: 1000, size: 1000, is_rtx: true });
+        assert!(o.send.iter().take(4).all(|a| a.is_rtx));
+        assert_eq!(s.retransmits, 4);
+        assert!(o.set_timer.is_some());
+    }
+
+    #[test]
+    fn gbn_stale_nacks_are_ignored() {
+        let mut s = gbn(1_000_000);
+        s.start(0);
+        s.on_nack(10, 0, 0); // first NACK: rollback, epoch -> 1
+        let rtx = s.retransmits;
+        // More NACKs from the same pre-rollback burst carry epoch 0.
+        let o = s.on_nack(11, 1000, 0);
+        assert!(o.send.is_empty(), "stale NACK must not roll back again");
+        assert_eq!(s.retransmits, rtx);
+        // A NACK for data the sender never sent is ignored too.
+        let o = s.on_nack(12, 999_999_999, 1);
+        assert!(o.send.is_empty());
+    }
+
+    #[test]
+    fn gbn_timeout_resends_from_cum_ack_without_collapsing() {
+        let mut s = gbn(1_000_000);
+        let o = s.start(0);
+        let (deadline, gen) = o.set_timer.unwrap();
+        let o = s.on_timer(deadline, gen);
+        assert_eq!(s.timeouts, 1);
+        assert_eq!(s.cwnd(), 4.0, "fixed window never collapses");
+        assert_eq!(o.send.len(), 4, "whole window resent from cum ack");
+        assert!(o.send.iter().all(|a| a.is_rtx));
+        let (d2, _) = o.set_timer.unwrap();
+        assert_eq!(d2, deadline + 2 * MIN_RTO, "backoff still doubles");
+    }
+
+    #[test]
+    fn gbn_ignores_dup_acks() {
+        let mut s = gbn(1_000_000);
+        s.start(0);
+        for _ in 0..5 {
+            let o = s.on_ack(10, 0, 0, 0);
+            assert!(o.send.is_empty());
+        }
+        assert!(!s.in_recovery, "go-back-N has no fast-retransmit recovery");
+        assert_eq!(s.retransmits, 0);
+    }
+
+    #[test]
+    fn gbn_completes() {
+        let mut s = gbn(2500);
+        s.start(0);
+        let o = s.on_ack(10, 2500, 0, 0);
+        assert!(o.completed);
+        // NACKs after completion are no-ops.
+        let o = s.on_nack(20, 0, 0);
+        assert_eq!(o, TcpOutput::default());
+    }
+
+    #[test]
+    fn gbn_receiver_discards_out_of_order_and_nacks() {
+        let mut r = TcpReceiver::new();
+        assert_eq!(r.on_data_gbn(0, 1000), GbnSignal::Ack(1000));
+        // Gap at 1000: the 2000 segment is discarded, NACK names the gap.
+        assert_eq!(r.on_data_gbn(2000, 1000), GbnSignal::Nack(1000));
+        assert_eq!(r.cum_ack(), 1000);
+        // Retransmission fills the gap in order; the discarded segment
+        // must be resent too (nothing was buffered).
+        assert_eq!(r.on_data_gbn(1000, 1000), GbnSignal::Ack(2000));
+        assert_eq!(r.on_data_gbn(2000, 1000), GbnSignal::Ack(3000));
+        // Duplicates re-ACK.
+        assert_eq!(r.on_data_gbn(0, 1000), GbnSignal::Ack(3000));
     }
 
     // ---- receiver ----

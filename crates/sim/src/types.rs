@@ -66,6 +66,15 @@ pub struct SimConfig {
     /// the `tests/proptest_sim.rs` equivalence properties.
     #[serde(default)]
     pub datapath: Datapath,
+    /// Lossless switching: when set, switches run priority flow control
+    /// with these thresholds and drop no data packets (pause frames
+    /// propagate backpressure instead). `None` = classic lossy drop-tail,
+    /// the paper's setup. PFC is a single-process feature: the sharded
+    /// engine and the hybrid co-simulation reject it, because per-ingress
+    /// pause state couples neighbouring switches tighter than their
+    /// conservative lookahead allows.
+    #[serde(default)]
+    pub pfc: Option<PfcConfig>,
 }
 
 /// Which event-scheduler implementation the engine uses.
@@ -107,6 +116,39 @@ pub enum Transport {
     /// DCTCP: ECN marks above a queue threshold, fraction-proportional
     /// window reduction (Alizadeh et al.).
     Dctcp,
+    /// NACK-driven go-back-N over a fixed window — the RDMA-style
+    /// transport for the lossless (PFC) fabric. Receivers discard
+    /// out-of-order data and NACK the gap; the sender rolls its send
+    /// edge back and resends. Usable on lossy fabrics too (it just
+    /// retransmits more), but designed for [`SimConfig::pfc`] runs.
+    GoBackN,
+}
+
+/// Priority-flow-control (IEEE 802.1Qbb style) thresholds for lossless
+/// switching, in bytes of *per-ingress* buffer occupancy at the next hop.
+///
+/// When the bytes a downstream queue holds from one upstream ingress link
+/// cross `xoff_bytes`, the switch emits a pause frame back up that ingress;
+/// the upstream transmitter finishes its in-flight packet and stops. When
+/// occupancy falls to `xon_bytes` a resume frame re-opens it. Thresholds
+/// leave headroom below [`SimConfig::queue_bytes`] for the packets still in
+/// flight during the pause frame's propagation, so data is never dropped at
+/// a full queue (asserted by the engine's lossless accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PfcConfig {
+    /// Pause (XOFF) threshold, bytes of per-ingress occupancy.
+    pub xoff_bytes: u64,
+    /// Resume (XON) threshold, bytes; must be `< xoff_bytes` for
+    /// hysteresis.
+    pub xon_bytes: u64,
+}
+
+impl Default for PfcConfig {
+    /// Half the default 150 kB queue as XOFF, a fifth as XON: ample
+    /// headroom for one RTT of in-flight packets at 10 Gbps.
+    fn default() -> Self {
+        PfcConfig { xoff_bytes: 75_000, xon_bytes: 30_000 }
+    }
 }
 
 impl Default for SimConfig {
@@ -126,6 +168,7 @@ impl Default for SimConfig {
             ecn_threshold_bytes: 30_000, // 20 packets
             scheduler: Scheduler::Auto,
             datapath: Datapath::Fast,
+            pfc: None,
         }
     }
 }
@@ -188,6 +231,28 @@ pub struct SimReport {
     /// of reporting fast-path throughput for a slow-path run.
     #[serde(default)]
     pub used_fib_cache: bool,
+    /// Packets dropped at *full queues* specifically. Under PFC this is
+    /// the lossless invariant's counter: it must stay 0 for data packets
+    /// (dead-link flushes during failure schedules count under
+    /// [`SimReport::dropped_packets`], not here). Without PFC it equals
+    /// `dropped_packets`.
+    #[serde(default)]
+    pub congestion_drops: u64,
+    /// Pause (XOFF) frames emitted. 0 unless [`SimConfig::pfc`] is set.
+    #[serde(default)]
+    pub pause_frames: u64,
+    /// Resume (XON) frames emitted.
+    #[serde(default)]
+    pub resume_frames: u64,
+    /// Directed links that were paused at least once — the footprint of
+    /// the pause tree (the congestion-spreading metric of EXPERIMENTS P7).
+    #[serde(default)]
+    pub links_ever_paused: u64,
+    /// Largest per-ingress occupancy any queue reached, bytes. Under PFC
+    /// this stays below `queue_bytes` (that headroom is what makes the
+    /// fabric lossless); without PFC it is 0 (not tracked).
+    #[serde(default)]
+    pub max_ingress_backlog: u64,
 }
 
 impl SimReport {
@@ -242,6 +307,11 @@ mod tests {
             end_ns: 10,
             events: 3,
             used_fib_cache: true,
+            congestion_drops: 0,
+            pause_frames: 0,
+            resume_frames: 0,
+            links_ever_paused: 0,
+            max_ingress_backlog: 0,
         };
         assert_eq!(r.fcts(), vec![5, 9]);
         assert_eq!(r.unfinished(), 1);

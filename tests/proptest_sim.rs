@@ -367,6 +367,120 @@ proptest! {
         prop_assert_eq!(fast, run(Datapath::Reference));
     }
 
+    /// PFC lossless fabrics never tail-drop a data packet: across random
+    /// DRing/RRG/leaf-spine topologies, all three transports, optional
+    /// failure schedules, and both datapaths, `congestion_drops` stays
+    /// zero (dead-link flushes are the only permitted loss), delivered
+    /// bytes cover every finished flow, and the fast and reference paths
+    /// stay byte-identical under pause/resume — including the pause/resume
+    /// counters themselves.
+    #[test]
+    fn pfc_is_lossless_on_random_workloads(
+        (topo, scheme, flows, dctcp, _flowlets) in datapath_topo_and_flows(),
+        gbn in any::<bool>(),
+        with_failures in any::<bool>(),
+        raw_events in prop::collection::vec(
+            (0u64..3_000_000, 0u8..4, any::<u32>()), 1..5),
+    ) {
+        use spineless::sim::types::{PfcConfig, Transport};
+        use std::sync::Arc;
+        let sched = with_failures.then(|| {
+            let ne = topo.graph.edges().len() as u32;
+            let nsw = topo.num_switches();
+            let mut sched = FailureSchedule::new(100_000);
+            for &(t, kind, target) in &raw_events {
+                sched = match kind {
+                    0 => sched.link_down(t, target % ne),
+                    1 => sched.link_up(t, target % ne),
+                    2 => sched.switch_down(t, target % nsw),
+                    _ => sched.switch_up(t, target % nsw),
+                };
+            }
+            sched
+        });
+        let run = |datapath| {
+            let fs = Arc::new(ForwardingState::build(&topo.graph, scheme));
+            let cfg = SimConfig {
+                datapath,
+                pfc: Some(PfcConfig { xoff_bytes: 20_000, xon_bytes: 8_000 }),
+                // Finite horizon: PFC on a cyclic flat fabric can deadlock
+                // (the paper's pause-tree pathology), and blackholed flows
+                // must end the run instead of hanging it.
+                max_time_ns: 20_000_000,
+                transport: if gbn {
+                    Transport::GoBackN
+                } else if dctcp {
+                    Transport::Dctcp
+                } else {
+                    Transport::NewReno
+                },
+                ..Default::default()
+            };
+            let mut sim = Simulation::new(&topo, Arc::clone(&fs), cfg, 5);
+            for &(s, d, b, t) in &flows {
+                let _ = sim.add_flow(s, d, b, t);
+            }
+            if let Some(sch) = &sched {
+                sim.set_failure_schedule(&topo, fs, sch.clone())
+                    .expect("schedule targets this topology's own elements");
+            }
+            let r = sim.run();
+            let finished_bytes: u64 =
+                r.flows.iter().filter(|f| f.fct_ns.is_some()).map(|f| f.bytes).sum();
+            let hops = sim.pkt_hops();
+            let tx = sim.switch_link_tx_bytes();
+            (
+                r.congestion_drops,
+                r.fcts(),
+                r.unfinished(),
+                r.delivered_bytes,
+                r.pause_frames,
+                r.resume_frames,
+                r.links_ever_paused,
+                r.max_ingress_backlog,
+                finished_bytes,
+                hops,
+                tx,
+            )
+        };
+        let fast = run(Datapath::Fast);
+        prop_assert_eq!(fast.0, 0, "PFC tail-dropped a data packet");
+        prop_assert!(
+            fast.3 >= fast.8,
+            "delivered {} below finished flows' {}", fast.3, fast.8
+        );
+        prop_assert_eq!(fast, run(Datapath::Reference));
+    }
+
+    /// Go-back-N on a plain drop-tail (lossy) fabric still completes every
+    /// admitted flow and delivers every byte: NACK rollback plus RTO-driven
+    /// window resends cover arbitrary loss patterns, down to queues barely
+    /// two MTUs deep.
+    #[test]
+    fn gbn_delivers_all_bytes_despite_drops(
+        (topo, scheme, flows) in topo_and_flows(),
+        queue_kb in 3u64..16,
+    ) {
+        use spineless::sim::types::Transport;
+        let fs = ForwardingState::build(&topo.graph, scheme);
+        let cfg = SimConfig {
+            transport: Transport::GoBackN,
+            queue_bytes: queue_kb * 1_000,
+            // Generous ceiling so a pathological workload fails the
+            // unfinished() assertion instead of spinning.
+            max_time_ns: 10_000_000_000,
+            ..Default::default()
+        };
+        let mut sim = Simulation::new(&topo, fs, cfg, 9);
+        for &(s, d, b, t) in &flows {
+            sim.add_flow(s, d, b, t).expect("valid flow");
+        }
+        let r = sim.run();
+        prop_assert_eq!(r.unfinished(), 0);
+        let total: u64 = flows.iter().map(|f| f.2).sum();
+        prop_assert!(r.delivered_bytes >= total);
+    }
+
     /// The sharded conservative-parallel engine is pinned to its own
     /// single-domain serial reference the same way `Datapath::Fast` is
     /// pinned to `Reference`: identical full reports (FCTs, retransmit
